@@ -1,0 +1,138 @@
+// Command mamut-sweep characterises the simulated encoder+platform over a
+// grid of QP, thread and frequency values (a generalisation of the
+// paper's Fig. 2 measurement), printing one CSV row per operating point.
+//
+// Usage:
+//
+//	mamut-sweep -res HR -qp 22,27,32,37 -threads 1,2,4,8,12 -freq 1.6,2.3,3.2
+//	mamut-sweep -res LR -frames 240 > lr_sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"mamut/internal/hevc"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+func main() {
+	var (
+		resFlag    = flag.String("res", "HR", "resolution class: HR|LR")
+		qpFlag     = flag.String("qp", "22,25,27,29,32,35,37", "comma-separated QP values")
+		thFlag     = flag.String("threads", "1,2,4,6,8,10,12", "comma-separated thread counts")
+		freqFlag   = flag.String("freq", "3.2", "comma-separated frequencies (GHz)")
+		frames     = flag.Int("frames", 120, "frames per operating point")
+		complexity = flag.Float64("complexity", 1.0, "base content complexity")
+		seed       = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var res video.Resolution
+	switch strings.ToUpper(*resFlag) {
+	case "HR":
+		res = video.HR
+	case "LR":
+		res = video.LR
+	default:
+		fatal(fmt.Errorf("unknown resolution %q", *resFlag))
+	}
+	qps, err := parseInts(*qpFlag)
+	if err != nil {
+		fatal(err)
+	}
+	threads, err := parseInts(*thFlag)
+	if err != nil {
+		fatal(err)
+	}
+	freqs, err := parseFloats(*freqFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	spec := platform.DefaultSpec()
+	spec.PowerNoiseW = 0
+	model := hevc.DefaultModel()
+	model.PSNRNoiseDB = 0
+	model.BitsNoiseFrac = 0
+
+	fmt.Println("res,qp,threads,freq_ghz,fps,power_w,psnr_db,bitrate_mbps")
+	for _, qp := range qps {
+		for _, th := range threads {
+			for _, f := range freqs {
+				row, err := measure(res, qp, th, f, *frames, *complexity, *seed, spec, model)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(row)
+			}
+		}
+	}
+}
+
+func measure(res video.Resolution, qp, th int, f float64, frames int, complexity float64, seed int64,
+	spec platform.Spec, model hevc.Model) (string, error) {
+	eng, err := transcode.NewEngine(spec, model, seed)
+	if err != nil {
+		return "", err
+	}
+	seq := &video.Sequence{
+		Name: "sweep", Res: res, Frames: frames * 2, FrameRate: 24,
+		BaseComplexity: complexity, Dynamism: 0, MeanSceneLen: 1000,
+	}
+	src, err := video.NewGenerator(seq, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return "", err
+	}
+	set := transcode.Settings{QP: qp, Threads: th, FreqGHz: f}
+	if _, err := eng.AddSession(transcode.SessionConfig{
+		Source:      src,
+		Controller:  &transcode.Static{S: set},
+		Initial:     set,
+		FrameBudget: frames,
+	}); err != nil {
+		return "", err
+	}
+	out, err := eng.Run()
+	if err != nil {
+		return "", err
+	}
+	sr := out.Sessions[0]
+	return fmt.Sprintf("%s,%d,%d,%.1f,%.2f,%.2f,%.2f,%.3f",
+		res, qp, th, f, sr.AvgFPS, out.AvgPowerW, sr.AvgPSNRdB, sr.AvgBitrateMbps), nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mamut-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Package mamut is a Go reproduction of "MAMUT: Multi-Agent Reinforcement
+// Learning for Efficient Real-Time Multi-User Video Transcoding" (Costero,
+// Iranfar, Zapater, Igual, Olcoz, Atienza - DATE 2019).
+//
+// MAMUT manages a multi-user HEVC transcoding server at run time. For each
+// video stream three cooperating Q-learning agents each own one knob - the
+// HEVC quantization parameter (AGqp), the number of WPP encoding threads
+// (AGthread) and the per-core DVFS frequency (AGdvfs) - and share a
+// discrete state space built from the four observables PSNR, power,
+// bitrate and throughput. The goal is real-time throughput (24 FPS) and
+// high quality under user-bandwidth and server-power constraints.
+//
+// Because this repository must run anywhere, the paper's physical testbed
+// (Kvazaar encoder on a dual Xeon E5-2667 v4 with per-core DVFS) is
+// replaced by calibrated analytic models with the same response surfaces;
+// see DESIGN.md for the substitution table and calibration anchors. The
+// controllers themselves - MAMUT and both baselines - are implemented
+// exactly as the paper describes.
+//
+// This package is the public facade. It re-exports the key types and
+// provides convenience constructors; the implementation lives under
+// internal/:
+//
+//   - internal/core: the MAMUT controller (agents, schedule, rewards,
+//     Algorithm 1 cooperative exploitation)
+//   - internal/baseline: the mono-agent QL and heuristic baselines
+//   - internal/rl: tabular Q-learning machinery (eq. 3 learning rate,
+//     per-state phases, empirical transition model)
+//   - internal/hevc, internal/platform, internal/video: the simulated
+//     substrates
+//   - internal/transcode: the event-driven multi-session engine
+//   - internal/experiments: everything needed to regenerate the paper's
+//     figures and tables
+//
+// # Quick start
+//
+//	sim, err := mamut.NewSimulation(mamut.SimulationConfig{Seed: 1})
+//	if err != nil { ... }
+//	err = sim.AddStream(mamut.StreamConfig{
+//		Sequence: "Kimono",
+//		Approach: mamut.ApproachMAMUT,
+//		Frames:   2000,
+//	})
+//	result, err := sim.Run()
+//
+// See examples/ for runnable programs and cmd/mamut-experiments for the
+// harness that regenerates every table and figure of the paper.
+package mamut

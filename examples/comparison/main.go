@@ -1,0 +1,45 @@
+// Comparison: the paper's head-to-head — heuristic vs mono-agent QL vs
+// MAMUT on the same workload, with warm-up excluded and repetitions
+// averaged (a scaled-down version of the Table II protocol).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mamut"
+)
+
+func main() {
+	opts := mamut.QuickExperimentOptions()
+	opts.Seed = 11
+
+	workload := mamut.WorkloadSpec{Name: "2HR2LR", HR: 2, LR: 2}
+	fmt.Printf("workload %s: %d repetitions, %d warm-up + %d measured frames per stream\n\n",
+		workload.Name, opts.Repetitions, opts.WarmupFrames, opts.MeasureFrames)
+
+	fmt.Println("approach    watts   Nth    FPS    delta%   PSNR(dB)  QP     GHz")
+	var rows []mamut.ApproachResult
+	for _, a := range []mamut.Approach{mamut.ApproachHeuristic, mamut.ApproachMonoAgent, mamut.ApproachMAMUT} {
+		r, err := mamut.RunWorkload(workload, mamut.ScenarioII, a, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, r)
+		fmt.Printf("%-10s  %5.1f  %5.1f  %5.1f  %6.1f   %6.1f   %5.1f  %4.2f\n",
+			a, r.Watts, r.Nth, r.FPS, r.DeltaPct, r.PSNRdB, r.QP, r.FreqGHz)
+	}
+
+	h, m := rows[0], rows[2]
+	fmt.Printf("\nMAMUT vs heuristic: %.1fx fewer QoS violations, %.0f%% power saving\n",
+		ratio(h.DeltaPct, m.DeltaPct), 100*(1-m.Watts/h.Watts))
+	fmt.Println("(quick options: the RL managers are only partially converged here;")
+	fmt.Println(" cmd/mamut-experiments uses the full protocol)")
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

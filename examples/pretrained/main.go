@@ -1,0 +1,110 @@
+// Pretrained: train a MAMUT controller online, persist its learned state
+// (Q-tables, visit counts, transition model), and redeploy it on a new
+// stream — it starts near its converged policy instead of relearning.
+// This is the production counterpart of the paper's evaluation protocol,
+// where the tables persist across repetitions of the transcoding process.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mamut/internal/core"
+	"mamut/internal/experiments"
+	"mamut/internal/hevc"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+func main() {
+	spec := platform.DefaultSpec()
+	model := hevc.DefaultModel()
+	catalog := video.DefaultCatalog()
+
+	// Phase 1: train online on Kimono for 20k frames.
+	trained := runStream(spec, model, catalog, "Kimono", 20000, nil)
+	var checkpoint bytes.Buffer
+	if err := trained.ctrl.Save(&checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 (training on Kimono): late-window violations %.1f%%, checkpoint %d bytes\n",
+		trained.lateDelta, checkpoint.Len())
+
+	// Phase 2a: a cold controller meets a different video.
+	cold := runStream(spec, model, catalog, "BasketballDrive", 6000, nil)
+	// Phase 2b: the warm-started controller meets the same video.
+	warm := runStream(spec, model, catalog, "BasketballDrive", 6000, checkpoint.Bytes())
+
+	fmt.Printf("phase 2 (BasketballDrive, 6000 frames):\n")
+	fmt.Printf("  cold start:  %.1f%% violations\n", cold.delta)
+	fmt.Printf("  warm start:  %.1f%% violations\n", warm.delta)
+	if warm.delta < cold.delta {
+		fmt.Println("the persisted policy transfers: the warm controller skips most of the learning cost")
+	}
+}
+
+type streamRun struct {
+	ctrl      *core.Controller
+	delta     float64
+	lateDelta float64
+}
+
+func runStream(spec platform.Spec, model hevc.Model, catalog *video.Catalog,
+	sequence string, frames int, checkpoint []byte) streamRun {
+	eng, err := transcode.NewEngine(spec, model, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := catalog.Get(sequence)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := video.NewGenerator(seq, rand.New(rand.NewSource(6)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	initial := experiments.InitialSettings(seq.Res)
+	ctrl, err := core.New(core.DefaultConfig(seq.Res, spec, model.MaxUsefulThreads(seq.Res)),
+		initial, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if checkpoint != nil {
+		if err := ctrl.Load(bytes.NewReader(checkpoint)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := eng.AddSession(transcode.SessionConfig{
+		Source: src, Controller: ctrl, Initial: initial,
+		BandwidthMbps: core.DefaultBandwidth(seq.Res),
+		FrameBudget:   frames, CollectTrace: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := res.Sessions[0].Trace
+	return streamRun{
+		ctrl:      ctrl,
+		delta:     violPct(trace),
+		lateDelta: violPct(trace[len(trace)-len(trace)/4:]),
+	}
+}
+
+func violPct(trace []transcode.Observation) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range trace {
+		if o.FPS < transcode.DefaultTargetFPS {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(trace))
+}

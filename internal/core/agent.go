@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"mamut/internal/rl"
+	"mamut/internal/transcode"
+)
+
+// agent binds one rl.Learner to the knob it owns. Actions are indices
+// into the agent's value list; applying an action overwrites that knob in
+// the session settings (the paper's actions are absolute set-points, not
+// increments).
+type agent struct {
+	kind    AgentKind
+	learner *rl.Learner
+
+	qpValues     []int
+	threadValues []int
+	freqValues   []float64
+}
+
+// actions returns the size of the agent's action set.
+func (a *agent) actions() int {
+	switch a.kind {
+	case AgentQP:
+		return len(a.qpValues)
+	case AgentThreads:
+		return len(a.threadValues)
+	default:
+		return len(a.freqValues)
+	}
+}
+
+// apply returns settings with this agent's knob set to the action's value.
+func (a *agent) apply(s transcode.Settings, action int) transcode.Settings {
+	switch a.kind {
+	case AgentQP:
+		s.QP = a.qpValues[action]
+	case AgentThreads:
+		s.Threads = a.threadValues[action]
+	default:
+		s.FreqGHz = a.freqValues[action]
+	}
+	return s
+}
+
+// currentAction returns the action index matching the knob value in s, or
+// the closest one if the current value is not in the list (possible only
+// if external code changed the settings).
+func (a *agent) currentAction(s transcode.Settings) int {
+	switch a.kind {
+	case AgentQP:
+		return closestInt(a.qpValues, s.QP)
+	case AgentThreads:
+		return closestInt(a.threadValues, s.Threads)
+	default:
+		return closestFloat(a.freqValues, s.FreqGHz)
+	}
+}
+
+func closestInt(vals []int, x int) int {
+	best, bestD := 0, -1
+	for i, v := range vals {
+		d := v - x
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func closestFloat(vals []float64, x float64) int {
+	best, bestD := 0, -1.0
+	for i, v := range vals {
+		d := v - x
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// newAgent builds the learner for one knob.
+func newAgent(kind AgentKind, cfg Config) (*agent, error) {
+	a := &agent{
+		kind:         kind,
+		qpValues:     cfg.QPValues,
+		threadValues: cfg.ThreadValues,
+		freqValues:   cfg.FreqValues,
+	}
+	n := a.actions()
+	if n < 2 {
+		return nil, fmt.Errorf("core: agent %s needs at least 2 actions, has %d", kind, n)
+	}
+	rlCfg := rl.Config{
+		States:    NumStates,
+		Actions:   n,
+		Beta:      cfg.Beta,
+		BetaPrime: cfg.BetaPrime,
+		AlphaTh1:  cfg.AlphaTh1,
+		AlphaTh2:  cfg.AlphaTh2,
+		Gamma:     cfg.Gamma,
+	}
+	l, err := rl.NewLearner(rlCfg)
+	if err != nil {
+		return nil, err
+	}
+	a.learner = l
+	return a, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mamut/internal/rl"
+)
+
+// PolicyEntry describes one visited state's greedy policy across the
+// three agents — the converged operating point MAMUT would choose there.
+type PolicyEntry struct {
+	// State is the factored state.
+	State State
+	// Visits is the total number of agent actions taken in this state.
+	Visits int
+	// QP, Threads and FreqGHz are the greedy choices of each agent.
+	QP      int
+	Threads int
+	FreqGHz float64
+	// Phases are the per-agent learning phases for the state.
+	Phases [3]rl.Phase
+}
+
+// Policy returns the greedy policy of every visited state, most-visited
+// first. It is an introspection tool: the paper's Table I/Fig. 5
+// behaviour can be read directly off the hot states' rows.
+func (c *Controller) Policy() []PolicyEntry {
+	var out []PolicyEntry
+	for s := 0; s < NumStates; s++ {
+		visits := 0
+		for k := AgentQP; k < numAgents; k++ {
+			l := c.agents[k].learner
+			for a := 0; a < l.Config().Actions; a++ {
+				visits += l.Visits.Num(s, a)
+			}
+		}
+		if visits == 0 {
+			continue
+		}
+		st, err := StateFromIndex(s)
+		if err != nil {
+			// s iterates [0,NumStates): an error is a programming bug.
+			panic(err)
+		}
+		entry := PolicyEntry{State: st, Visits: visits}
+		entry.QP = c.cfg.QPValues[c.agents[AgentQP].learner.Q.ArgMax(s)]
+		entry.Threads = c.cfg.ThreadValues[c.agents[AgentThreads].learner.Q.ArgMax(s)]
+		entry.FreqGHz = c.cfg.FreqValues[c.agents[AgentDVFS].learner.Q.ArgMax(s)]
+		for k := AgentQP; k < numAgents; k++ {
+			entry.Phases[k] = c.agents[k].learner.PhaseFor(s, c.otherMinSum(k))
+		}
+		out = append(out, entry)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Visits != out[j].Visits {
+			return out[i].Visits > out[j].Visits
+		}
+		return out[i].State.Index() < out[j].State.Index()
+	})
+	return out
+}
+
+// DumpPolicy writes the visited-state policy as an aligned text table,
+// most-visited states first, at most maxRows rows (0 = all).
+func (c *Controller) DumpPolicy(w io.Writer, maxRows int) error {
+	entries := c.Policy()
+	if maxRows > 0 && len(entries) > maxRows {
+		entries = entries[:maxRows]
+	}
+	if _, err := fmt.Fprintf(w, "%-28s %7s  %4s %7s %5s  %s\n",
+		"state(PSNR,Pow,BR,FPS)", "visits", "QP", "threads", "GHz", "phases(qp/thread/dvfs)"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "(%d,%d,%d,%d)%-17s %7d  %4d %7d %5.1f  %v/%v/%v\n",
+			e.State.PSNR, e.State.Power, e.State.Bitrate, e.State.FPS, "",
+			e.Visits, e.QP, e.Threads, e.FreqGHz,
+			e.Phases[AgentQP], e.Phases[AgentThreads], e.Phases[AgentDVFS]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPolicyListsVisitedStates(t *testing.T) {
+	c := testController(t, 71)
+	if len(c.Policy()) != 0 {
+		t.Error("fresh controller reports visited states")
+	}
+	trainController(c, 2400)
+	entries := c.Policy()
+	if len(entries) == 0 {
+		t.Fatal("trained controller reports no visited states")
+	}
+	// Sorted by visits, descending.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Visits > entries[i-1].Visits {
+			t.Fatal("policy not sorted by visits")
+		}
+	}
+	// Greedy choices come from the action sets.
+	cfg := testConfig()
+	for _, e := range entries {
+		if e.Threads < 1 || e.Threads > 12 {
+			t.Errorf("threads %d out of range", e.Threads)
+		}
+		okQP, okF := false, false
+		for _, v := range cfg.QPValues {
+			if e.QP == v {
+				okQP = true
+			}
+		}
+		for _, v := range cfg.FreqValues {
+			if e.FreqGHz == v {
+				okF = true
+			}
+		}
+		if !okQP || !okF {
+			t.Errorf("policy entry outside action sets: %+v", e)
+		}
+		if err := e.State.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestDumpPolicyOutput(t *testing.T) {
+	c := testController(t, 72)
+	trainController(c, 1200)
+	var buf bytes.Buffer
+	if err := c.DumpPolicy(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 || len(lines) > 6 {
+		t.Fatalf("dump lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "visits") || !strings.Contains(lines[0], "GHz") {
+		t.Errorf("header missing columns: %q", lines[0])
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mamut/internal/rl"
+	"mamut/internal/transcode"
+)
+
+// controllerState is the serialised form of a Controller: the current
+// knob values, the current discretized state, and the three agents'
+// complete learning state.
+type controllerState struct {
+	Settings transcode.Settings `json:"settings"`
+	CurState int                `json:"cur_state"`
+	Agents   [3]json.RawMessage `json:"agents"`
+}
+
+// Save serialises the controller's learned state (all three agents'
+// Q-tables, visit counts and transition models) so a trained MAMUT
+// instance can be redeployed without relearning — the production
+// equivalent of the paper's tables persisting across repetitions.
+// Pending (not yet finalized) updates are not saved; save between frames
+// or accept losing at most one in-flight action's update.
+func (c *Controller) Save(w io.Writer) error {
+	st := controllerState{Settings: c.settings, CurState: c.curState}
+	for k := AgentQP; k < numAgents; k++ {
+		var buf bytes.Buffer
+		if err := c.agents[k].learner.Save(&buf); err != nil {
+			return fmt.Errorf("core: save agent %v: %w", k, err)
+		}
+		st.Agents[k] = json.RawMessage(buf.Bytes())
+	}
+	if err := json.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: save controller: %w", err)
+	}
+	return nil
+}
+
+// Load restores learning state saved with Save into this controller. The
+// controller's configuration must declare the same action-set sizes as
+// the saved one.
+func (c *Controller) Load(r io.Reader) error {
+	var st controllerState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: load controller: %w", err)
+	}
+	if err := st.Settings.Validate(); err != nil {
+		return fmt.Errorf("core: load controller: %w", err)
+	}
+	if st.CurState < 0 || st.CurState >= NumStates {
+		return fmt.Errorf("core: load controller: state %d out of range", st.CurState)
+	}
+	var loaded [3]*rl.Learner
+	for k := AgentQP; k < numAgents; k++ {
+		l, err := rl.LoadLearner(bytes.NewReader(st.Agents[k]))
+		if err != nil {
+			return fmt.Errorf("core: load agent %v: %w", k, err)
+		}
+		if l.Config().Actions != c.agents[k].actions() {
+			return fmt.Errorf("core: load agent %v: %d actions saved, controller has %d",
+				k, l.Config().Actions, c.agents[k].actions())
+		}
+		loaded[k] = l
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		c.agents[k].learner = loaded[k]
+	}
+	c.settings = st.Settings
+	c.curState = st.CurState
+	c.pend = nil
+	return nil
+}

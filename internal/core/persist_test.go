@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mamut/internal/transcode"
+)
+
+// trainController drives a controller through n frames of a stationary
+// environment.
+func trainController(c *Controller, n int) {
+	cur := c.Settings()
+	for f := 0; f < n; f++ {
+		cur = c.OnFrameStart(transcode.FrameStart{FrameIndex: f, Current: cur})
+		c.OnFrameDone(obsWith(25+3*float64(f%3), 36, 95, 4))
+	}
+}
+
+func TestControllerSaveLoadRoundTrip(t *testing.T) {
+	a := testController(t, 31)
+	trainController(a, 2400)
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := testController(t, 99) // different rng; exploitation is deterministic
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if b.Settings() != a.Settings() {
+		t.Errorf("settings %+v, want %+v", b.Settings(), a.Settings())
+	}
+	for k := AgentQP; k <= AgentDVFS; k++ {
+		la, lb := a.Learner(k), b.Learner(k)
+		for s := 0; s < NumStates; s++ {
+			for ac := 0; ac < la.Config().Actions; ac++ {
+				if la.Q.Get(s, ac) != lb.Q.Get(s, ac) {
+					t.Fatalf("agent %v Q(%d,%d) differs", k, s, ac)
+				}
+				if la.Visits.Num(s, ac) != lb.Visits.Num(s, ac) {
+					t.Fatalf("agent %v visits(%d,%d) differ", k, s, ac)
+				}
+			}
+		}
+	}
+
+	// A state deep in exploitation must produce the same decision.
+	sIdx := a.curState
+	for k := AgentQP; k <= AgentDVFS; k++ {
+		if pa, pb := a.Learner(k).PhaseFor(sIdx, 1000), b.Learner(k).PhaseFor(sIdx, 1000); pa != pb {
+			t.Fatalf("agent %v phase differs after load: %v vs %v", k, pa, pb)
+		}
+	}
+	if ga, gb := a.exploitAction(AgentDVFS, sIdx, 2), b.exploitAction(AgentDVFS, sIdx, 2); ga != gb {
+		t.Errorf("exploit decision differs after load: %d vs %d", ga, gb)
+	}
+}
+
+func TestControllerLoadRejectsBadInput(t *testing.T) {
+	c := testController(t, 32)
+	if err := c.Load(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A controller with a different action-set size must refuse the load.
+	cfg := testConfig()
+	cfg.QPValues = []int{22, 37}
+	other, err := New(cfg, transcode.Settings{QP: 32, Threads: 6, FreqGHz: 2.6}, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainController(other, 240)
+	var buf bytes.Buffer
+	if err := other.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mismatched action sets accepted")
+	}
+}
+
+// Pretrained deployment: a controller trained in one engine run can be
+// saved and reloaded into a fresh run, where it should start near its
+// converged policy instead of relearning from scratch.
+func TestControllerWarmStartBehaviour(t *testing.T) {
+	warm := testController(t, 34)
+	trainController(warm, 4800)
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := testController(t, 35)
+	reloaded := testController(t, 36)
+	if err := reloaded.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	countExploit := func(c *Controller, frames int) int {
+		before := c.Stats()
+		trainController(c, frames)
+		after := c.Stats()
+		n := 0
+		for k := 0; k < 3; k++ {
+			n += after.ByAgent[k].Exploitation - before.ByAgent[k].Exploitation
+		}
+		return n
+	}
+	coldExploit := countExploit(cold, 480)
+	warmExploit := countExploit(reloaded, 480)
+	if warmExploit <= coldExploit {
+		t.Errorf("warm-started controller exploited %d decisions vs cold %d; want more",
+			warmExploit, coldExploit)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "math"
+
+// Reward constants of paper SIII-D.
+const (
+	// ViolationReward is the penalty for violating a constraint or the
+	// real-time target.
+	ViolationReward = -4.0
+	// MinAcceptablePSNR and MaxUsefulPSNR bound the quality objective:
+	// below 30 dB quality is unacceptable for human vision, above 50 dB
+	// the extra bits are wasted.
+	MinAcceptablePSNR = 30.0
+	MaxUsefulPSNR     = 50.0
+)
+
+// psnrRewardA and psnrRewardB are the a and b of eq. (2), chosen so the
+// reward is exactly 0 at 30 dB and 1.0 at 50 dB:
+//
+//	a*e^(50/50) - b = 1,  a*e^(30/50) - b = 0
+var (
+	psnrRewardA = 1 / (math.E - math.Exp(0.6))
+	psnrRewardB = math.Exp(0.6) / (math.E - math.Exp(0.6))
+)
+
+// RewardFPS implements eq. (1): hard penalty below the target, maximal
+// reward (1.0) exactly at the target, and a hyperbolically shrinking
+// positive reward above it, because over-achieving wastes resources that
+// could serve other users (the surplus frames are merely buffered).
+func RewardFPS(fps, targetFPS float64) float64 {
+	if fps < targetFPS {
+		return ViolationReward
+	}
+	return 1 / (fps - (targetFPS - 1))
+}
+
+// RewardPSNR implements eq. (2): hard penalty outside the 30..50 dB
+// acceptable band, exponentially growing reward within it.
+func RewardPSNR(psnrDB float64) float64 {
+	if psnrDB < MinAcceptablePSNR || psnrDB > MaxUsefulPSNR {
+		return ViolationReward
+	}
+	return psnrRewardA*math.Exp(psnrDB/50) - psnrRewardB
+}
+
+// RewardBitrate is the bandwidth-constraint reward: -4 when the delivery
+// bitrate exceeds the user's available bandwidth, 0 otherwise. A
+// non-positive bandwidth means the user is unconstrained.
+func RewardBitrate(mbps, bandwidthMbps float64) float64 {
+	if bandwidthMbps > 0 && mbps > bandwidthMbps {
+		return ViolationReward
+	}
+	return 0
+}
+
+// RewardPower is the power-cap constraint reward: -4 at or above the cap,
+// 0 under it.
+func RewardPower(powerW, capW float64) float64 {
+	if powerW >= capW {
+		return ViolationReward
+	}
+	return 0
+}
+
+// TotalReward combines the four per-observable rewards of SIII-D into the
+// scalar the Q-update consumes.
+func TotalReward(m Metrics, targetFPS, bandwidthMbps, capW float64) float64 {
+	return RewardFPS(m.FPS, targetFPS) +
+		RewardPSNR(m.PSNRdB) +
+		RewardBitrate(m.BitrateMbps, bandwidthMbps) +
+		RewardPower(m.PowerW, capW)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRewardFPSEquationOne(t *testing.T) {
+	// Below target: -4.
+	if got := RewardFPS(23.9, 24); got != ViolationReward {
+		t.Errorf("below-target reward = %g, want %g", got, ViolationReward)
+	}
+	// Exactly at target: maximal reward 1.
+	if got := RewardFPS(24, 24); math.Abs(got-1) > 1e-12 {
+		t.Errorf("at-target reward = %g, want 1", got)
+	}
+	// Above target: positive but smaller (wasted resources).
+	r26 := RewardFPS(26, 24)
+	r30 := RewardFPS(30, 24)
+	if !(r26 > 0 && r30 > 0 && r30 < r26 && r26 < 1) {
+		t.Errorf("above-target rewards r26=%g r30=%g violate shape", r26, r30)
+	}
+	// Explicit value: 1/(30-(24-1)) = 1/7.
+	if math.Abs(r30-1.0/7) > 1e-12 {
+		t.Errorf("r30 = %g, want 1/7", r30)
+	}
+}
+
+func TestRewardPSNREquationTwo(t *testing.T) {
+	// Outside the acceptable band: -4.
+	if got := RewardPSNR(29.99); got != ViolationReward {
+		t.Errorf("PSNR<30 reward = %g, want %g", got, ViolationReward)
+	}
+	if got := RewardPSNR(50.01); got != ViolationReward {
+		t.Errorf("PSNR>50 reward = %g, want %g", got, ViolationReward)
+	}
+	// Anchors: 0 at 30 dB, 1 at 50 dB.
+	if got := RewardPSNR(30); math.Abs(got) > 1e-12 {
+		t.Errorf("reward at 30 dB = %g, want 0", got)
+	}
+	if got := RewardPSNR(50); math.Abs(got-1) > 1e-12 {
+		t.Errorf("reward at 50 dB = %g, want 1", got)
+	}
+	// Strictly increasing inside the band.
+	prev := -1.0
+	for p := 30.0; p <= 50; p += 2.5 {
+		r := RewardPSNR(p)
+		if r <= prev {
+			t.Fatalf("reward not increasing at %g dB", p)
+		}
+		prev = r
+	}
+}
+
+func TestRewardBitrate(t *testing.T) {
+	if got := RewardBitrate(6.1, 6); got != ViolationReward {
+		t.Error("over-bandwidth not penalised")
+	}
+	if got := RewardBitrate(5.9, 6); got != 0 {
+		t.Error("within-bandwidth penalised")
+	}
+	if got := RewardBitrate(100, 0); got != 0 {
+		t.Error("unconstrained user penalised")
+	}
+}
+
+func TestRewardPower(t *testing.T) {
+	if got := RewardPower(140, 140); got != ViolationReward {
+		t.Error("at-cap not penalised (paper: power >= Pcap violates)")
+	}
+	if got := RewardPower(139, 140); got != 0 {
+		t.Error("under-cap penalised")
+	}
+}
+
+func TestTotalRewardComposition(t *testing.T) {
+	m := Metrics{PSNRdB: 40, PowerW: 100, BitrateMbps: 4, FPS: 24}
+	want := RewardFPS(24, 24) + RewardPSNR(40) + 0 + 0
+	if got := TotalReward(m, 24, 6, 140); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalReward = %g, want %g", got, want)
+	}
+	// Everything violated at once.
+	bad := Metrics{PSNRdB: 20, PowerW: 150, BitrateMbps: 9, FPS: 10}
+	if got := TotalReward(bad, 24, 6, 140); got != 4*ViolationReward {
+		t.Errorf("all-violated reward = %g, want %g", got, 4*ViolationReward)
+	}
+}
+
+// Property: rewards stay within their documented bounds across the domain.
+func TestRewardBoundsProperty(t *testing.T) {
+	prop := func(fps, psnr float64) bool {
+		f := math.Mod(math.Abs(fps), 100)
+		p := math.Mod(math.Abs(psnr), 70)
+		rf := RewardFPS(f, 24)
+		rp := RewardPSNR(p)
+		if rf != ViolationReward && (rf <= 0 || rf > 1) {
+			return false
+		}
+		if rp != ViolationReward && (rp < 0 || rp > 1+1e-12) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

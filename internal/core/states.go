@@ -1,0 +1,143 @@
+// Package core implements MAMUT, the paper's multi-agent Q-learning
+// run-time manager for QoS-aware real-time multi-user HEVC transcoding.
+//
+// Three cooperating agents per video stream each own one knob — the HEVC
+// quantization parameter, the number of WPP encoding threads, and the
+// per-core DVFS frequency — and share one discrete state space built from
+// the four observables PSNR, power, bitrate and throughput (paper SIII-C).
+// Learning follows the paper's SIV machinery: per-(state,action) learning
+// rates that couple the agents' exploration progress (eq. 3), per-state
+// learning phases, an empirical transition model, and the cooperative
+// expected-Q action selection of Algorithm 1 in the exploitation phase.
+package core
+
+import "fmt"
+
+// State-space cardinalities from paper SIII-C.
+const (
+	NumPSNRStates    = 6 // <=30, <=35, <=40, <=45, <=50, >50 dB
+	NumPowerStates   = 2 // under cap, at/over cap
+	NumBitrateStates = 3 // <3 Mb/s, 3..6 Mb/s, >6 Mb/s
+	NumFPSStates     = 5 // <24, <26, <28, <30, >=30
+	// NumStates is the full cross-product cardinality (180).
+	NumStates = NumPSNRStates * NumPowerStates * NumBitrateStates * NumFPSStates
+)
+
+// State is a factored observation of the environment.
+type State struct {
+	// PSNR in [0,NumPSNRStates): index of the quality band.
+	PSNR int
+	// Power in [0,NumPowerStates): 0 under the cap, 1 at/over it.
+	Power int
+	// Bitrate in [0,NumBitrateStates): index of the bandwidth band.
+	Bitrate int
+	// FPS in [0,NumFPSStates): index of the throughput band.
+	FPS int
+}
+
+// Validate reports whether every factor is in range.
+func (s State) Validate() error {
+	if s.PSNR < 0 || s.PSNR >= NumPSNRStates ||
+		s.Power < 0 || s.Power >= NumPowerStates ||
+		s.Bitrate < 0 || s.Bitrate >= NumBitrateStates ||
+		s.FPS < 0 || s.FPS >= NumFPSStates {
+		return fmt.Errorf("core: state %+v out of range", s)
+	}
+	return nil
+}
+
+// Index flattens the state into [0,NumStates).
+func (s State) Index() int {
+	return ((s.PSNR*NumPowerStates+s.Power)*NumBitrateStates+s.Bitrate)*NumFPSStates + s.FPS
+}
+
+// StateFromIndex inverts Index.
+func StateFromIndex(i int) (State, error) {
+	if i < 0 || i >= NumStates {
+		return State{}, fmt.Errorf("core: state index %d out of range", i)
+	}
+	s := State{}
+	s.FPS = i % NumFPSStates
+	i /= NumFPSStates
+	s.Bitrate = i % NumBitrateStates
+	i /= NumBitrateStates
+	s.Power = i % NumPowerStates
+	i /= NumPowerStates
+	s.PSNR = i
+	return s, nil
+}
+
+// PSNRState discretizes a PSNR reading per SIII-C: <=30, <=35, <=40, <=45,
+// <=50, >50 dB.
+func PSNRState(psnrDB float64) int {
+	switch {
+	case psnrDB <= 30:
+		return 0
+	case psnrDB <= 35:
+		return 1
+	case psnrDB <= 40:
+		return 2
+	case psnrDB <= 45:
+		return 3
+	case psnrDB <= 50:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// PowerState discretizes a power reading against the server cap.
+func PowerState(powerW, capW float64) int {
+	if powerW >= capW {
+		return 1
+	}
+	return 0
+}
+
+// BitrateState discretizes a delivery bitrate per SIII-C, using the 3G
+// bandwidth bands: <3 Mb/s, 3..6 Mb/s, >6 Mb/s.
+func BitrateState(mbps float64) int {
+	switch {
+	case mbps < 3:
+		return 0
+	case mbps <= 6:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// FPSState discretizes throughput around the 24 FPS real-time target:
+// <24, <26, <28, <30, >=30.
+func FPSState(fps float64) int {
+	switch {
+	case fps < 24:
+		return 0
+	case fps < 26:
+		return 1
+	case fps < 28:
+		return 2
+	case fps < 30:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Metrics is a raw (or NULL-slot-averaged, per SIV-A) observation vector.
+type Metrics struct {
+	PSNRdB      float64
+	PowerW      float64
+	BitrateMbps float64
+	FPS         float64
+}
+
+// StateOf discretizes a metrics vector against the power cap.
+func StateOf(m Metrics, powerCapW float64) State {
+	return State{
+		PSNR:    PSNRState(m.PSNRdB),
+		Power:   PowerState(m.PowerW, powerCapW),
+		Bitrate: BitrateState(m.BitrateMbps),
+		FPS:     FPSState(m.FPS),
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumStatesIs180(t *testing.T) {
+	if NumStates != 180 {
+		t.Fatalf("NumStates = %d, want 180 (6*2*3*5, paper SIII-C)", NumStates)
+	}
+}
+
+func TestStateIndexRoundTrip(t *testing.T) {
+	seen := make(map[int]bool)
+	for p := 0; p < NumPSNRStates; p++ {
+		for w := 0; w < NumPowerStates; w++ {
+			for b := 0; b < NumBitrateStates; b++ {
+				for f := 0; f < NumFPSStates; f++ {
+					s := State{PSNR: p, Power: w, Bitrate: b, FPS: f}
+					if err := s.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					i := s.Index()
+					if i < 0 || i >= NumStates {
+						t.Fatalf("index %d out of range for %+v", i, s)
+					}
+					if seen[i] {
+						t.Fatalf("index %d duplicated", i)
+					}
+					seen[i] = true
+					back, err := StateFromIndex(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if back != s {
+						t.Fatalf("round trip %+v -> %d -> %+v", s, i, back)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != NumStates {
+		t.Fatalf("indices cover %d states, want %d", len(seen), NumStates)
+	}
+}
+
+func TestStateFromIndexErrors(t *testing.T) {
+	if _, err := StateFromIndex(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := StateFromIndex(NumStates); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestStateValidateRejectsOutOfRange(t *testing.T) {
+	bad := []State{
+		{PSNR: -1}, {PSNR: NumPSNRStates},
+		{Power: 2}, {Bitrate: 3}, {FPS: 5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("state %+v accepted", s)
+		}
+	}
+}
+
+func TestPSNRStateBands(t *testing.T) {
+	cases := []struct {
+		psnr float64
+		want int
+	}{
+		{25, 0}, {30, 0}, {30.01, 1}, {35, 1}, {36, 2}, {40, 2},
+		{44, 3}, {45, 3}, {48, 4}, {50, 4}, {50.5, 5}, {60, 5},
+	}
+	for _, c := range cases {
+		if got := PSNRState(c.psnr); got != c.want {
+			t.Errorf("PSNRState(%g) = %d, want %d", c.psnr, got, c.want)
+		}
+	}
+}
+
+func TestPowerState(t *testing.T) {
+	if PowerState(139.9, 140) != 0 {
+		t.Error("under-cap misclassified")
+	}
+	if PowerState(140, 140) != 1 {
+		t.Error("at-cap misclassified (paper: power >= Pcap)")
+	}
+}
+
+func TestBitrateStateBands(t *testing.T) {
+	cases := []struct {
+		mbps float64
+		want int
+	}{
+		{0.5, 0}, {2.99, 0}, {3, 1}, {4.5, 1}, {6, 1}, {6.01, 2}, {12, 2},
+	}
+	for _, c := range cases {
+		if got := BitrateState(c.mbps); got != c.want {
+			t.Errorf("BitrateState(%g) = %d, want %d", c.mbps, got, c.want)
+		}
+	}
+}
+
+func TestFPSStateBands(t *testing.T) {
+	cases := []struct {
+		fps  float64
+		want int
+	}{
+		{10, 0}, {23.99, 0}, {24, 1}, {25.9, 1}, {26, 2}, {27.9, 2},
+		{28, 3}, {29.9, 3}, {30, 4}, {60, 4},
+	}
+	for _, c := range cases {
+		if got := FPSState(c.fps); got != c.want {
+			t.Errorf("FPSState(%g) = %d, want %d", c.fps, got, c.want)
+		}
+	}
+}
+
+func TestStateOf(t *testing.T) {
+	m := Metrics{PSNRdB: 37, PowerW: 100, BitrateMbps: 4, FPS: 25}
+	s := StateOf(m, 140)
+	want := State{PSNR: 2, Power: 0, Bitrate: 1, FPS: 1}
+	if s != want {
+		t.Errorf("StateOf = %+v, want %+v", s, want)
+	}
+}
+
+// Property: any finite metrics vector discretizes to a valid state.
+func TestStateOfAlwaysValidProperty(t *testing.T) {
+	prop := func(psnr, power, br, fps float64) bool {
+		m := Metrics{
+			PSNRdB:      math.Mod(math.Abs(psnr), 80),
+			PowerW:      math.Mod(math.Abs(power), 300),
+			BitrateMbps: math.Mod(math.Abs(br), 20),
+			FPS:         math.Mod(math.Abs(fps), 100),
+		}
+		s := StateOf(m, 140)
+		return s.Validate() == nil && s.Index() >= 0 && s.Index() < NumStates
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

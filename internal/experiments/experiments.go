@@ -1,0 +1,447 @@
+// Package experiments reproduces the paper's evaluation: the Fig. 2
+// characterisation sweep, the Scenario I workload sweep (Fig. 4, Table I),
+// the Scenario II request-batch study (Table II), the Fig. 5 execution
+// trace, the mono-agent learning-time comparison (SV-B) and the ablations
+// called out in DESIGN.md.
+//
+// Every run is deterministic for a fixed Options.Seed. Like the paper
+// (SV-A), each configuration is repeated several times and averaged; the
+// measured window excludes the warm-up/learning frames, mirroring the
+// paper's averaging over five repetitions of a system whose tables persist.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"mamut/internal/baseline"
+	"mamut/internal/core"
+	"mamut/internal/hevc"
+	"mamut/internal/metrics"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+// Approach names one of the three compared run-time managers.
+type Approach string
+
+const (
+	// Heuristic is the Grellert-style rule-based manager.
+	Heuristic Approach = "heuristic"
+	// MonoAgent is the single-agent Q-learning manager.
+	MonoAgent Approach = "monoagent"
+	// MAMUT is the paper's multi-agent manager.
+	MAMUT Approach = "mamut"
+)
+
+// AllApproaches lists the paper's comparison order.
+var AllApproaches = []Approach{Heuristic, MonoAgent, MAMUT}
+
+// Options configures an experiment run.
+type Options struct {
+	// Spec is the platform model.
+	Spec platform.Spec
+	// Model is the encoder model.
+	Model hevc.Model
+	// Catalog provides the video sequences.
+	Catalog *video.Catalog
+	// Seed drives all randomness deterministically.
+	Seed int64
+	// Repetitions averages this many runs per configuration (5 in the
+	// paper).
+	Repetitions int
+	// WarmupFrames are excluded from the measured window: the learning
+	// phase of the RL managers (the heuristic needs none but is given the
+	// same protocol).
+	WarmupFrames int
+	// MeasureFrames is the size of the measured window per session.
+	MeasureFrames int
+}
+
+// DefaultOptions returns the configuration used for the published
+// experiment outputs in EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Spec:          platform.DefaultSpec(),
+		Model:         hevc.DefaultModel(),
+		Catalog:       video.DefaultCatalog(),
+		Seed:          1,
+		Repetitions:   5,
+		WarmupFrames:  36000,
+		MeasureFrames: 6000,
+	}
+}
+
+// QuickOptions returns a reduced configuration for benchmarks and smoke
+// tests: fewer repetitions and shorter windows (the RL managers are only
+// partially converged at this horizon).
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Repetitions = 2
+	o.WarmupFrames = 12000
+	o.MeasureFrames = 4000
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if err := o.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := o.Model.Validate(); err != nil {
+		return err
+	}
+	if o.Catalog == nil || o.Catalog.Len() == 0 {
+		return fmt.Errorf("experiments: empty catalog")
+	}
+	if o.Repetitions < 1 {
+		return fmt.Errorf("experiments: repetitions %d < 1", o.Repetitions)
+	}
+	if o.WarmupFrames < 0 || o.MeasureFrames < 1 {
+		return fmt.Errorf("experiments: window %d+%d invalid", o.WarmupFrames, o.MeasureFrames)
+	}
+	return nil
+}
+
+// WorkloadSpec is a mix of simultaneous streams.
+type WorkloadSpec struct {
+	// Name is the paper's shorthand, e.g. "2HR3LR".
+	Name string
+	// HR and LR are the stream counts per resolution class.
+	HR, LR int
+}
+
+// Sessions returns the total stream count.
+func (w WorkloadSpec) Sessions() int { return w.HR + w.LR }
+
+// ScenarioIWorkloads returns the homogeneous workloads of Fig. 4:
+// 1..5 simultaneous HR videos and 1..8 simultaneous LR videos.
+func ScenarioIWorkloads() []WorkloadSpec {
+	var out []WorkloadSpec
+	for n := 1; n <= 5; n++ {
+		out = append(out, WorkloadSpec{Name: fmt.Sprintf("%dHR", n), HR: n})
+	}
+	for n := 1; n <= 8; n++ {
+		out = append(out, WorkloadSpec{Name: fmt.Sprintf("%dLR", n), LR: n})
+	}
+	return out
+}
+
+// ScenarioIIWorkloads returns the mixed batches of Table II.
+func ScenarioIIWorkloads() []WorkloadSpec {
+	mix := [][2]int{
+		{1, 1}, {1, 2}, {2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 1}, {3, 2}, {3, 3},
+	}
+	out := make([]WorkloadSpec, 0, len(mix))
+	for _, m := range mix {
+		out = append(out, WorkloadSpec{Name: fmt.Sprintf("%dHR%dLR", m[0], m[1]), HR: m[0], LR: m[1]})
+	}
+	return out
+}
+
+// ScenarioKind distinguishes the two evaluation protocols.
+type ScenarioKind int
+
+const (
+	// ScenarioI loops one catalog sequence per stream (SV-B).
+	ScenarioI ScenarioKind = iota
+	// ScenarioII plays an initial sequence followed by four random
+	// same-resolution sequences per stream (SV-C).
+	ScenarioII
+)
+
+// ResolutionAgg aggregates the sessions of one resolution class.
+type ResolutionAgg struct {
+	// Sessions counts contributing streams across repetitions.
+	Sessions int
+	// Nth and FreqGHz are the Table I quantities.
+	Nth     float64
+	FreqGHz float64
+	// PSNRdB, FPS and DeltaPct complete the picture.
+	PSNRdB   float64
+	FPS      float64
+	DeltaPct float64
+}
+
+// ApproachResult is one approach's measured behaviour on one workload.
+type ApproachResult struct {
+	Approach Approach
+	// Watts is the time-averaged package power over the measured window,
+	// averaged across repetitions; WattsStd is its std-dev across
+	// repetitions.
+	Watts    float64
+	WattsStd float64
+	// Session-averaged metrics (the paper's Table II columns).
+	Nth         float64
+	FPS         float64
+	DeltaPct    float64
+	PSNRdB      float64
+	BitrateMbps float64
+	FreqGHz     float64
+	QP          float64
+	// StallPct is the delivery-side QoS metric: the share of frames
+	// missing their playout deadline under the paper's SIII-D buffering
+	// model (metrics.BufferedViolations), averaged over sessions.
+	StallPct float64
+	// HR and LR aggregate the same quantities per resolution class.
+	HR, LR ResolutionAgg
+}
+
+// WorkloadResult couples a workload with the per-approach results.
+type WorkloadResult struct {
+	Spec       WorkloadSpec
+	ByApproach []ApproachResult
+}
+
+// Get returns the result for one approach.
+func (w WorkloadResult) Get(a Approach) (ApproachResult, bool) {
+	for _, r := range w.ByApproach {
+		if r.Approach == a {
+			return r, true
+		}
+	}
+	return ApproachResult{}, false
+}
+
+// ControllerFactory builds a controller for one stream. Custom factories
+// drive the ablation studies; the standard approaches use Factory.
+type ControllerFactory func(res video.Resolution, initial transcode.Settings, rng *rand.Rand) (transcode.Controller, error)
+
+// Factory returns the standard factory for an approach.
+func Factory(a Approach, opts Options) (ControllerFactory, error) {
+	switch a {
+	case Heuristic:
+		return func(res video.Resolution, initial transcode.Settings, rng *rand.Rand) (transcode.Controller, error) {
+			cfg := baseline.DefaultHeuristicConfig(res, opts.Spec, opts.Model.MaxUsefulThreads(res))
+			return baseline.NewHeuristic(cfg, initial)
+		}, nil
+	case MonoAgent:
+		return func(res video.Resolution, initial transcode.Settings, rng *rand.Rand) (transcode.Controller, error) {
+			cfg := baseline.DefaultMonoConfig(res, opts.Spec, opts.Model.MaxUsefulThreads(res))
+			return baseline.NewMonoAgent(cfg, initial, rng)
+		}, nil
+	case MAMUT:
+		return func(res video.Resolution, initial transcode.Settings, rng *rand.Rand) (transcode.Controller, error) {
+			cfg := core.DefaultConfig(res, opts.Spec, opts.Model.MaxUsefulThreads(res))
+			return core.New(cfg, initial, rng)
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown approach %q", a)
+	}
+}
+
+// InitialSettings returns the common starting knobs used by every
+// approach: a mid QP, a moderate thread count and a mid frequency.
+func InitialSettings(res video.Resolution) transcode.Settings {
+	threads := 6
+	if res == video.LR {
+		threads = 3
+	}
+	return transcode.Settings{QP: 32, Threads: threads, FreqGHz: 2.6}
+}
+
+// bufferPreroll is the playout pre-roll (in frames) used for the
+// delivery-side stall metric: one second at the target frame rate.
+const bufferPreroll = 24
+
+// subSeed derives a deterministic sub-seed from the experiment seed and a
+// label, so adding configurations never perturbs existing ones.
+func subSeed(base int64, label string, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", base, label, rep)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// RunWorkload measures one workload under one named approach.
+func RunWorkload(w WorkloadSpec, kind ScenarioKind, a Approach, opts Options) (ApproachResult, error) {
+	f, err := Factory(a, opts)
+	if err != nil {
+		return ApproachResult{}, err
+	}
+	res, err := RunWorkloadWithFactory(w, kind, string(a), f, opts)
+	if err != nil {
+		return ApproachResult{}, err
+	}
+	res.Approach = a
+	return res, nil
+}
+
+// RunWorkloadWithFactory measures one workload under a custom controller
+// factory (used by the ablations). The label keys the deterministic
+// sub-seeding.
+func RunWorkloadWithFactory(w WorkloadSpec, kind ScenarioKind, label string, factory ControllerFactory, opts Options) (ApproachResult, error) {
+	if err := opts.Validate(); err != nil {
+		return ApproachResult{}, err
+	}
+	if w.Sessions() < 1 {
+		return ApproachResult{}, fmt.Errorf("experiments: workload %q has no sessions", w.Name)
+	}
+
+	var (
+		wattsReps []float64
+		sums      []metrics.SessionSummary
+		hrSums    []metrics.SessionSummary
+		lrSums    []metrics.SessionSummary
+		stalls    []float64
+	)
+
+	for rep := 0; rep < opts.Repetitions; rep++ {
+		seed := subSeed(opts.Seed, w.Name+"|"+label, rep)
+		rng := rand.New(rand.NewSource(seed))
+		eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
+		if err != nil {
+			return ApproachResult{}, err
+		}
+		resByID := make([]video.Resolution, 0, w.Sessions())
+		budget := opts.WarmupFrames + opts.MeasureFrames
+		add := func(res video.Resolution, idx int) error {
+			src, err := buildSource(kind, res, idx, opts, rng)
+			if err != nil {
+				return err
+			}
+			initial := InitialSettings(res)
+			ctrl, err := factory(res, initial, rand.New(rand.NewSource(rng.Int63())))
+			if err != nil {
+				return err
+			}
+			_, err = eng.AddSession(transcode.SessionConfig{
+				Source:        src,
+				Controller:    ctrl,
+				Initial:       initial,
+				BandwidthMbps: core.DefaultBandwidth(res),
+				FrameBudget:   budget,
+				CollectTrace:  true,
+			})
+			if err != nil {
+				return err
+			}
+			resByID = append(resByID, res)
+			return nil
+		}
+		for i := 0; i < w.HR; i++ {
+			if err := add(video.HR, i); err != nil {
+				return ApproachResult{}, err
+			}
+		}
+		for i := 0; i < w.LR; i++ {
+			if err := add(video.LR, i); err != nil {
+				return ApproachResult{}, err
+			}
+		}
+
+		// RunUntilAll keeps every stream transcoding until the slowest one
+		// passes its budget, so the measured window below always sees the
+		// full workload's contention and power.
+		runRes, err := eng.RunUntilAll()
+		if err != nil {
+			return ApproachResult{}, fmt.Errorf("experiments: %s/%s rep %d: %w", w.Name, label, rep, err)
+		}
+
+		// Per-session measured windows, and the overlapping time interval
+		// during which every session was inside its window.
+		var windows [][]transcode.Observation
+		winStart, winEnd := 0.0, runRes.DurationSec
+		for _, sr := range runRes.Sessions {
+			win := metrics.Window(sr.Trace, opts.WarmupFrames, budget)
+			if len(win) == 0 {
+				return ApproachResult{}, fmt.Errorf("experiments: empty measured window for session %d", sr.ID)
+			}
+			windows = append(windows, win)
+			if t := win[0].Time; t > winStart {
+				winStart = t
+			}
+			if t := win[len(win)-1].Time; t < winEnd {
+				winEnd = t
+			}
+			s := metrics.Summarize(win, transcode.DefaultTargetFPS)
+			sums = append(sums, s)
+			if q, err := metrics.BufferedViolations(win, transcode.DefaultTargetFPS, bufferPreroll); err == nil {
+				stalls = append(stalls, q.StallPct)
+			}
+			if resByID[sr.ID] == video.HR {
+				hrSums = append(hrSums, s)
+			} else {
+				lrSums = append(lrSums, s)
+			}
+		}
+		watts, err := metrics.TimeWeightedPower(windows, winStart, winEnd)
+		if err != nil {
+			// Degenerate overlap (sessions progressing at very different
+			// speeds): fall back to the run average.
+			watts = runRes.AvgPowerW
+		}
+		wattsReps = append(wattsReps, watts)
+	}
+
+	mean := metrics.MeanSummary(sums)
+	out := ApproachResult{
+		StallPct:    metrics.Mean(stalls),
+		Watts:       metrics.Mean(wattsReps),
+		WattsStd:    metrics.StdDev(wattsReps),
+		Nth:         mean.AvgThreads,
+		FPS:         mean.AvgFPS,
+		DeltaPct:    mean.DeltaPct,
+		PSNRdB:      mean.AvgPSNRdB,
+		BitrateMbps: mean.AvgBitrateMbps,
+		FreqGHz:     mean.AvgFreqGHz,
+		QP:          mean.AvgQP,
+		HR:          aggRes(hrSums),
+		LR:          aggRes(lrSums),
+	}
+	return out, nil
+}
+
+func aggRes(sums []metrics.SessionSummary) ResolutionAgg {
+	if len(sums) == 0 {
+		return ResolutionAgg{}
+	}
+	m := metrics.MeanSummary(sums)
+	return ResolutionAgg{
+		Sessions: len(sums),
+		Nth:      m.AvgThreads,
+		FreqGHz:  m.AvgFreqGHz,
+		PSNRdB:   m.AvgPSNRdB,
+		FPS:      m.AvgFPS,
+		DeltaPct: m.DeltaPct,
+	}
+}
+
+// buildSource creates the stream content for session idx of a workload.
+func buildSource(kind ScenarioKind, res video.Resolution, idx int, opts Options, rng *rand.Rand) (video.Source, error) {
+	pool := opts.Catalog.ByResolution(res)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("experiments: catalog has no %s sequences", res)
+	}
+	initial := pool[idx%len(pool)]
+	srcRNG := rand.New(rand.NewSource(rng.Int63()))
+	switch kind {
+	case ScenarioI:
+		return video.NewGenerator(initial, srcRNG)
+	case ScenarioII:
+		return video.ScenarioIIPlaylist(opts.Catalog, initial, 4, srcRNG)
+	default:
+		return nil, fmt.Errorf("experiments: unknown scenario kind %d", kind)
+	}
+}
+
+// RunScenario measures every workload under every approach.
+func RunScenario(workloads []WorkloadSpec, kind ScenarioKind, opts Options) ([]WorkloadResult, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("experiments: no workloads")
+	}
+	out := make([]WorkloadResult, 0, len(workloads))
+	for _, w := range workloads {
+		wr := WorkloadResult{Spec: w}
+		for _, a := range AllApproaches {
+			r, err := RunWorkload(w, kind, a, opts)
+			if err != nil {
+				return nil, err
+			}
+			wr.ByApproach = append(wr.ByApproach, r)
+		}
+		out = append(out, wr)
+	}
+	return out, nil
+}

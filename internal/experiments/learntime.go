@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mamut/internal/baseline"
+	"mamut/internal/core"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+// LearningTimeResult quantifies the SV-B claim that the mono-agent takes
+// far longer to finish learning than MAMUT because of the combinatorial
+// joint action space. Two mono-agent granularities are measured: the
+// 27-action subset the scenario experiments use (the most favourable
+// mono baseline) and a wider 100-action subset closer to a straight
+// coarsening of the full space, which exhibits the explosion the paper
+// reports as a 15x longer learning time.
+type LearningTimeResult struct {
+	// MAMUTFirstExploit is the first frame at which each MAMUT agent chose
+	// an exploitation action, and MAMUTAllExploit the first frame at which
+	// all three had.
+	MAMUTFirstExploit [3]int
+	MAMUTAllExploit   int
+	// MonoFirstExploit is the first frame at which the 27-action
+	// mono-agent chose an exploitation action, -1 if it never did within
+	// the budget; MonoWideFirstExploit is the same for the 100-action
+	// subset.
+	MonoFirstExploit     int
+	MonoWideFirstExploit int
+	// MonoActions and MonoWideActions record the joint-space sizes.
+	MonoActions     int
+	MonoWideActions int
+	// Frames is the simulated budget.
+	Frames int
+	// Ratio is MonoFirstExploit / MAMUTAllExploit and WideRatio the same
+	// for the wide subset, when both quantities are positive.
+	Ratio     float64
+	WideRatio float64
+}
+
+// WideMonoConfig returns the 100-action mono-agent subset used by the
+// learning-time experiment: 5 QP x 5 threads x 4 frequencies.
+func WideMonoConfig(opts Options) baseline.MonoConfig {
+	cfg := baseline.DefaultMonoConfig(video.HR, opts.Spec, opts.Model.MaxUsefulThreads(video.HR))
+	cfg.QPValues = []int{22, 25, 29, 32, 37}
+	cfg.ThreadValues = []int{1, 3, 6, 9, 12}
+	cfg.FreqValues = []float64{1.6, 2.3, 2.9, 3.2}
+	return cfg
+}
+
+// LearningTime runs MAMUT and the mono-agent on identical single-HR-stream
+// workloads and reports how long each takes to first reach the
+// exploitation phase.
+func LearningTime(opts Options, frames int) (*LearningTimeResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if frames < 1 {
+		return nil, fmt.Errorf("experiments: frames %d < 1", frames)
+	}
+
+	run := func(label string, build func(rng *rand.Rand) (transcode.Controller, error)) (transcode.Controller, error) {
+		rng := rand.New(rand.NewSource(subSeed(opts.Seed, "learntime|"+label, 0)))
+		eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		pool := opts.Catalog.ByResolution(video.HR)
+		src, err := video.NewGenerator(pool[0], rand.New(rand.NewSource(rng.Int63())))
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := build(rand.New(rand.NewSource(rng.Int63())))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.AddSession(transcode.SessionConfig{
+			Source:        src,
+			Controller:    ctrl,
+			Initial:       InitialSettings(video.HR),
+			BandwidthMbps: core.DefaultBandwidth(video.HR),
+			FrameBudget:   frames,
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := eng.Run(); err != nil {
+			return nil, err
+		}
+		return ctrl, nil
+	}
+
+	maxTh := opts.Model.MaxUsefulThreads(video.HR)
+	mamutCtrl, err := run("mamut", func(rng *rand.Rand) (transcode.Controller, error) {
+		return core.New(core.DefaultConfig(video.HR, opts.Spec, maxTh), InitialSettings(video.HR), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	monoCfg := baseline.DefaultMonoConfig(video.HR, opts.Spec, maxTh)
+	monoCtrl, err := run("mono", func(rng *rand.Rand) (transcode.Controller, error) {
+		return baseline.NewMonoAgent(monoCfg, InitialSettings(video.HR), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	wideCfg := WideMonoConfig(opts)
+	wideCtrl, err := run("mono-wide", func(rng *rand.Rand) (transcode.Controller, error) {
+		return baseline.NewMonoAgent(wideCfg, InitialSettings(video.HR), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mStats := mamutCtrl.(*core.Controller).Stats()
+	moStats := monoCtrl.(*baseline.MonoAgent).Stats()
+	wideStats := wideCtrl.(*baseline.MonoAgent).Stats()
+	out := &LearningTimeResult{
+		MAMUTFirstExploit:    mStats.FirstExploitFrame,
+		MAMUTAllExploit:      mStats.FirstAllExploitFrame,
+		MonoFirstExploit:     moStats.FirstExploitFrame,
+		MonoWideFirstExploit: wideStats.FirstExploitFrame,
+		MonoActions:          monoCfg.Actions(),
+		MonoWideActions:      wideCfg.Actions(),
+		Frames:               frames,
+	}
+	if out.MAMUTAllExploit > 0 && out.MonoFirstExploit > 0 {
+		out.Ratio = float64(out.MonoFirstExploit) / float64(out.MAMUTAllExploit)
+	}
+	if out.MAMUTAllExploit > 0 && out.MonoWideFirstExploit > 0 {
+		out.WideRatio = float64(out.MonoWideFirstExploit) / float64(out.MAMUTAllExploit)
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "fmt"
+
+// TableIRow is one approach's row of Table I: the average threads and
+// frequency used for each resolution class, aggregated over the Scenario I
+// workloads.
+type TableIRow struct {
+	Approach Approach
+	// HRNth and HRFreq are the HR columns; LRNth and LRFreq the LR ones.
+	HRNth, HRFreq float64
+	LRNth, LRFreq float64
+}
+
+// TableI aggregates Scenario I results into the paper's Table I: per
+// approach, the session-weighted average thread count and frequency for HR
+// and LR streams.
+func TableI(results []WorkloadResult) ([]TableIRow, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("experiments: no results")
+	}
+	rows := make([]TableIRow, 0, len(AllApproaches))
+	for _, a := range AllApproaches {
+		var row TableIRow
+		row.Approach = a
+		var hrN, lrN int
+		for _, wr := range results {
+			r, ok := wr.Get(a)
+			if !ok {
+				return nil, fmt.Errorf("experiments: workload %s missing approach %s", wr.Spec.Name, a)
+			}
+			if r.HR.Sessions > 0 {
+				row.HRNth += r.HR.Nth * float64(r.HR.Sessions)
+				row.HRFreq += r.HR.FreqGHz * float64(r.HR.Sessions)
+				hrN += r.HR.Sessions
+			}
+			if r.LR.Sessions > 0 {
+				row.LRNth += r.LR.Nth * float64(r.LR.Sessions)
+				row.LRFreq += r.LR.FreqGHz * float64(r.LR.Sessions)
+				lrN += r.LR.Sessions
+			}
+		}
+		if hrN > 0 {
+			row.HRNth /= float64(hrN)
+			row.HRFreq /= float64(hrN)
+		}
+		if lrN > 0 {
+			row.LRNth /= float64(lrN)
+			row.LRFreq /= float64(lrN)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

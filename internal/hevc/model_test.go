@@ -1,0 +1,328 @@
+package hevc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mamut/internal/video"
+)
+
+func mustEncoder(t *testing.T, res video.Resolution, p Preset) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(res, p, DefaultModel(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPresetString(t *testing.T) {
+	if Ultrafast.String() != "ultrafast" || Slow.String() != "slow" {
+		t.Error("preset names wrong")
+	}
+	if Preset(9).String() != "Preset(9)" {
+		t.Error("unknown preset name wrong")
+	}
+}
+
+func TestPresetFor(t *testing.T) {
+	if PresetFor(video.HR) != Ultrafast {
+		t.Error("HR should use ultrafast (paper SV-A)")
+	}
+	if PresetFor(video.LR) != Slow {
+		t.Error("LR should use slow (paper SV-A)")
+	}
+}
+
+func TestDefaultModelValidates(t *testing.T) {
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateRejectsBadFields(t *testing.T) {
+	mut := []func(*Model){
+		func(m *Model) { m.CyclesPerPixelUltrafast = 0 },
+		func(m *Model) { m.CyclesPerPixelSlow = -1 },
+		func(m *Model) { m.PSNRQPSlope = 0 },
+		func(m *Model) { m.QPHalving = 0 },
+		func(m *Model) { m.WorkQPSlope = -0.1 },
+		func(m *Model) { m.MaxUsefulThreadsHR = 0 },
+		func(m *Model) { m.BitsNoiseFrac = -1 },
+	}
+	for i, f := range mut {
+		m := DefaultModel()
+		f(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewEncoderRejectsBadInput(t *testing.T) {
+	if _, err := NewEncoder(video.HR, Preset(42), DefaultModel(), nil); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	bad := DefaultModel()
+	bad.QPHalving = 0
+	if _, err := NewEncoder(video.HR, Ultrafast, bad, nil); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// Calibration anchor from Fig. 2: a 1080p ultrafast encode at 3.2 GHz does
+// roughly 5 FPS single-threaded and roughly 40 FPS with 10 threads at QP 37.
+func TestHRCalibrationAnchors(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	t1, err := e.EncodeSeconds(32, 1, 3.2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps1 := 1 / t1
+	if fps1 < 3.0 || fps1 > 7.5 {
+		t.Errorf("1-thread 1080p FPS = %.2f, want ~5 (3.0..7.5)", fps1)
+	}
+	t10, err := e.EncodeSeconds(37, 10, 3.2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps10 := 1 / t10
+	if fps10 < 28 || fps10 > 48 {
+		t.Errorf("10-thread QP37 1080p FPS = %.2f, want ~40 (28..48)", fps10)
+	}
+}
+
+// LR slow-preset anchor: about 4 threads near 2.9 GHz should hold ~24 FPS
+// (Table I reports LR served with 3.7 threads at 2.8 GHz on average).
+func TestLRCalibrationAnchor(t *testing.T) {
+	e := mustEncoder(t, video.LR, Slow)
+	sec, err := e.EncodeSeconds(35, 4, 2.9, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := 1 / sec
+	if fps < 22 || fps > 34 {
+		t.Errorf("LR 4-thread 2.9GHz QP35 FPS = %.2f, want 22..34", fps)
+	}
+}
+
+func TestSpeedupProperties(t *testing.T) {
+	for _, res := range []video.Resolution{video.HR, video.LR} {
+		e := mustEncoder(t, res, PresetFor(res))
+		if got := e.Speedup(1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s Speedup(1) = %g, want 1", res, got)
+		}
+		if got := e.Speedup(0); got != 0 {
+			t.Errorf("%s Speedup(0) = %g, want 0", res, got)
+		}
+		prev := 0.0
+		for n := 1; n <= 16; n++ {
+			s := e.Speedup(n)
+			if s < prev-1e-12 {
+				t.Fatalf("%s Speedup not monotone at n=%d: %g < %g", res, n, s, prev)
+			}
+			if s > float64(n) {
+				t.Fatalf("%s Speedup(%d)=%g exceeds linear", res, n, s)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSpeedupSaturation(t *testing.T) {
+	m := DefaultModel()
+	hr := mustEncoder(t, video.HR, Ultrafast)
+	if hr.Speedup(m.MaxUsefulThreadsHR) != hr.Speedup(m.MaxUsefulThreadsHR+4) {
+		t.Error("HR speedup not saturated past the documented limit")
+	}
+	lr := mustEncoder(t, video.LR, Slow)
+	if lr.Speedup(m.MaxUsefulThreadsLR) != lr.Speedup(m.MaxUsefulThreadsLR+4) {
+		t.Error("LR speedup not saturated past the documented limit")
+	}
+	// The saturation points differ by resolution, as in the paper.
+	if m.MaxUsefulThreads(video.HR) != 12 || m.MaxUsefulThreads(video.LR) != 5 {
+		t.Errorf("saturation points = %d/%d, want 12/5",
+			m.MaxUsefulThreads(video.HR), m.MaxUsefulThreads(video.LR))
+	}
+}
+
+func TestFrameWorkMonotoneInQPAndComplexity(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	w22, _ := e.FrameWork(22, 1.0)
+	w37, _ := e.FrameWork(37, 1.0)
+	if w22 <= w37 {
+		t.Errorf("work at QP22 (%g) should exceed work at QP37 (%g)", w22, w37)
+	}
+	wLo, _ := e.FrameWork(32, 0.6)
+	wHi, _ := e.FrameWork(32, 1.4)
+	if wHi <= wLo {
+		t.Errorf("work should grow with complexity: %g <= %g", wHi, wLo)
+	}
+}
+
+func TestFrameWorkErrors(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	if _, err := e.FrameWork(-1, 1); err == nil {
+		t.Error("negative QP accepted")
+	}
+	if _, err := e.FrameWork(52, 1); err == nil {
+		t.Error("QP 52 accepted")
+	}
+	if _, err := e.FrameWork(32, 0); err == nil {
+		t.Error("zero complexity accepted")
+	}
+}
+
+func TestFrameQualityRDShape(t *testing.T) {
+	for _, res := range []video.Resolution{video.HR, video.LR} {
+		e := mustEncoder(t, res, PresetFor(res))
+		prevPSNR, prevBits := math.Inf(1), math.Inf(1)
+		for _, qp := range []int{22, 25, 27, 29, 32, 35, 37} {
+			psnr, bits, err := e.FrameQuality(qp, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if psnr >= prevPSNR {
+				t.Errorf("%s PSNR not decreasing with QP at %d: %g >= %g", res, qp, psnr, prevPSNR)
+			}
+			if bits >= prevBits {
+				t.Errorf("%s bits not decreasing with QP at %d: %g >= %g", res, qp, bits, prevBits)
+			}
+			prevPSNR, prevBits = psnr, bits
+		}
+	}
+}
+
+// Fig. 2 anchors: 1080p ultrafast spans roughly 32..40 dB and up to
+// ~1.2 MB/s over QP 37..22.
+func TestHRQualityCalibration(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	p22, b22, _ := e.FrameQuality(22, 1.0)
+	p37, b37, _ := e.FrameQuality(37, 1.0)
+	if p22 < 38 || p22 > 42 {
+		t.Errorf("PSNR at QP22 = %.1f, want ~40", p22)
+	}
+	if p37 < 30 || p37 > 34 {
+		t.Errorf("PSNR at QP37 = %.1f, want ~32", p37)
+	}
+	// Bandwidth at the 24 FPS delivery rate, in MB/s.
+	mbps22 := b22 * 24 / 8 / 1e6
+	mbps37 := b37 * 24 / 8 / 1e6
+	if mbps22 < 0.8 || mbps22 > 1.6 {
+		t.Errorf("bandwidth at QP22 = %.2f MB/s, want ~1.2", mbps22)
+	}
+	if mbps37 > 0.35 {
+		t.Errorf("bandwidth at QP37 = %.2f MB/s, want < 0.35", mbps37)
+	}
+}
+
+// The slow preset must dominate ultrafast in RD terms at equal QP:
+// higher PSNR and (per pixel) fewer bits.
+func TestSlowPresetBetterRD(t *testing.T) {
+	uf := mustEncoder(t, video.LR, Ultrafast)
+	sl := mustEncoder(t, video.LR, Slow)
+	for _, qp := range []int{22, 29, 37} {
+		pu, bu, _ := uf.FrameQuality(qp, 1.0)
+		ps, bs, _ := sl.FrameQuality(qp, 1.0)
+		if ps <= pu {
+			t.Errorf("QP %d: slow PSNR %g <= ultrafast %g", qp, ps, pu)
+		}
+		if bs >= bu {
+			t.Errorf("QP %d: slow bits %g >= ultrafast %g", qp, bs, bu)
+		}
+	}
+}
+
+func TestFrameQualityNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, err := NewEncoder(video.HR, Ultrafast, DefaultModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, bits0, _ := mustEncoder(t, video.HR, Ultrafast).FrameQuality(32, 1.0)
+	varied := false
+	for i := 0; i < 50; i++ {
+		p, b, _ := e.FrameQuality(32, 1.0)
+		if p != base || b != bits0 {
+			varied = true
+		}
+		if math.Abs(p-base) > 2.0 {
+			t.Errorf("PSNR noise too large: %g vs %g", p, base)
+		}
+		if b <= 0 {
+			t.Errorf("non-positive bits %g", b)
+		}
+	}
+	if !varied {
+		t.Error("noisy encoder produced deterministic output")
+	}
+}
+
+func TestEncodeSecondsScalesWithFrequency(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	tLow, _ := e.EncodeSeconds(32, 8, 1.6, 1.0)
+	tHigh, _ := e.EncodeSeconds(32, 8, 3.2, 1.0)
+	ratio := tLow / tHigh
+	if math.Abs(ratio-2.0) > 1e-9 {
+		t.Errorf("halving frequency should double time, ratio = %g", ratio)
+	}
+}
+
+func TestEncodeSecondsErrors(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	if _, err := e.EncodeSeconds(32, 0, 3.2, 1); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := e.EncodeSeconds(32, 4, 0, 1); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := e.EncodeSeconds(99, 4, 3.2, 1); err == nil {
+		t.Error("bad QP accepted")
+	}
+}
+
+func TestFrameQualityErrors(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	if _, _, err := e.FrameQuality(-3, 1); err == nil {
+		t.Error("bad QP accepted")
+	}
+	if _, _, err := e.FrameQuality(32, -1); err == nil {
+		t.Error("negative complexity accepted")
+	}
+}
+
+// Property: across the whole valid knob domain, work, PSNR and bits are
+// finite and positive, and more threads never slow a frame down.
+func TestEncoderPropertyFiniteAndMonotone(t *testing.T) {
+	e := mustEncoder(t, video.HR, Ultrafast)
+	prop := func(qpRaw, thRaw uint8, cRaw float64) bool {
+		qp := 22 + int(qpRaw)%16 // 22..37
+		th := 1 + int(thRaw)%12  // 1..12
+		c := 0.4 + math.Mod(math.Abs(cRaw), 2.0)
+		w, err := e.FrameWork(qp, c)
+		if err != nil || !(w > 0) || math.IsInf(w, 0) {
+			return false
+		}
+		p, b, err := e.FrameQuality(qp, c)
+		if err != nil || math.IsNaN(p) || !(b > 0) {
+			return false
+		}
+		t1, err := e.EncodeSeconds(qp, th, 2.3, c)
+		if err != nil || !(t1 > 0) {
+			return false
+		}
+		if th < 12 {
+			t2, err := e.EncodeSeconds(qp, th+1, 2.3, c)
+			if err != nil || t2 > t1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"testing"
+
+	"mamut/internal/transcode"
+)
+
+// traceAt builds a trace with the given completion times.
+func traceAt(times ...float64) []transcode.Observation {
+	out := make([]transcode.Observation, len(times))
+	for i, t := range times {
+		out[i] = transcode.Observation{FrameIndex: i, Time: t}
+	}
+	return out
+}
+
+func TestBufferedViolationsOnSchedule(t *testing.T) {
+	// 24 FPS exactly: frame i completes at i/24. No stalls.
+	times := make([]float64, 48)
+	for i := range times {
+		times[i] = float64(i) / 24
+	}
+	q, err := BufferedViolations(traceAt(times...), 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stalls != 0 {
+		t.Errorf("stalls = %d, want 0", q.Stalls)
+	}
+	if q.Frames != 48 {
+		t.Errorf("frames = %d", q.Frames)
+	}
+}
+
+func TestBufferedViolationsAbsorbsTransientDip(t *testing.T) {
+	// Encode at 30 FPS for 30 frames (builds buffer), then one slow frame
+	// (0.25 s), then 30 FPS again. The accumulated earliness should cover
+	// the dip: no stalls with an unbounded buffer.
+	var times []float64
+	tcur := 0.0
+	for i := 0; i < 30; i++ {
+		tcur += 1.0 / 30
+		times = append(times, tcur)
+	}
+	tcur += 0.25
+	times = append(times, tcur)
+	for i := 0; i < 30; i++ {
+		tcur += 1.0 / 30
+		times = append(times, tcur)
+	}
+	q, err := BufferedViolations(traceAt(times...), 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stalls != 0 {
+		t.Errorf("stalls = %d, want 0 (buffer should absorb the dip)", q.Stalls)
+	}
+}
+
+func TestBufferedViolationsChronicUnderrun(t *testing.T) {
+	// Encoding at 12 FPS against a 24 FPS playout: everything after the
+	// pre-roll stalls.
+	times := make([]float64, 24)
+	for i := range times {
+		times[i] = float64(i) / 12
+	}
+	q, err := BufferedViolations(traceAt(times...), 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stalls < 20 {
+		t.Errorf("stalls = %d, want most frames", q.Stalls)
+	}
+	if q.MaxLatenessSec <= 0 {
+		t.Error("max lateness not recorded")
+	}
+}
+
+func TestBufferedViolationsEarlinessCoversLaterDip(t *testing.T) {
+	// Race far ahead (60 FPS for 60 frames), then one 0.5 s stall: the
+	// accumulated earliness covers it completely.
+	var times []float64
+	tcur := 0.0
+	for i := 0; i < 60; i++ {
+		tcur += 1.0 / 60
+		times = append(times, tcur)
+	}
+	tcur += 0.5
+	times = append(times, tcur)
+	q, err := BufferedViolations(traceAt(times...), 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stalls != 0 {
+		t.Errorf("stalls = %d, want 0", q.Stalls)
+	}
+}
+
+func TestBufferedViolationsPreroll(t *testing.T) {
+	// A slow start is forgiven by a long pre-roll: playout begins only
+	// after startupFrames are transcoded.
+	times := []float64{1.0, 2.0, 2.04, 2.08, 2.12} // two slow, then 24 FPS
+	slowStart, err := BufferedViolations(traceAt(times...), 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowStart.Stalls != 0 {
+		t.Errorf("stalls = %d, want 0 with pre-roll 2", slowStart.Stalls)
+	}
+}
+
+func TestBufferedViolationsErrors(t *testing.T) {
+	if _, err := BufferedViolations(nil, 0, 1); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := BufferedViolations(nil, 24, 0); err == nil {
+		t.Error("zero pre-roll accepted")
+	}
+	bad := []transcode.Observation{{FrameIndex: 3, Time: 1}, {FrameIndex: 2, Time: 2}}
+	if _, err := BufferedViolations(bad, 24, 1); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+	empty, err := BufferedViolations(nil, 24, 1)
+	if err != nil || empty.Frames != 0 {
+		t.Error("empty trace mishandled")
+	}
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mamut/internal/transcode"
+)
+
+// WriteTraceCSV writes per-frame observations as CSV with a header row,
+// suitable for plotting Fig. 5-style execution traces.
+func WriteTraceCSV(w io.Writer, trace []transcode.Observation) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"frame", "time_s", "fps", "inst_fps", "psnr_db", "bitrate_mbps",
+		"power_w", "qp", "threads", "freq_ghz", "complexity", "scene_change", "sequence",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	for _, o := range trace {
+		rec := []string{
+			strconv.Itoa(o.FrameIndex),
+			fmtF(o.Time), fmtF(o.FPS), fmtF(o.InstFPS), fmtF(o.PSNRdB),
+			fmtF(o.BitrateMbps), fmtF(o.PowerW),
+			strconv.Itoa(o.Settings.QP), strconv.Itoa(o.Settings.Threads),
+			fmtF(o.Settings.FreqGHz), fmtF(o.Complexity),
+			strconv.FormatBool(o.SceneChange), o.SequenceName,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

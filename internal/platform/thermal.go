@@ -1,0 +1,124 @@
+package platform
+
+import "fmt"
+
+// ThermalSpec is a first-order RC thermal model of the CPU package, the
+// standard lumped model used by the power/thermal-management literature
+// the paper builds on (Iranfar et al., TPDS'18). Package temperature
+// relaxes toward the steady state Ambient + Power*Rth with time constant
+// Tau; at or above ThrottleC the platform throttles, scaling both service
+// rate and dynamic power by ThrottleFactor until the package cools below
+// the threshold again.
+//
+// The zero value disables thermal modelling entirely (the paper's
+// evaluation does not exercise it; it is provided as the natural
+// extension for thermally-constrained deployments).
+type ThermalSpec struct {
+	// Enabled turns thermal tracking (and throttling) on.
+	Enabled bool
+	// AmbientC is the inlet/ambient temperature.
+	AmbientC float64
+	// RthCPerW is the junction-to-ambient thermal resistance.
+	RthCPerW float64
+	// TauSec is the thermal time constant.
+	TauSec float64
+	// ThrottleC is the throttling threshold.
+	ThrottleC float64
+	// ThrottleFactor scales service rate and dynamic power while
+	// throttled; in (0,1).
+	ThrottleFactor float64
+}
+
+// DefaultThermalSpec returns constants typical of a dual-socket air-cooled
+// server: full power (135 W) settles around 85C.
+func DefaultThermalSpec() ThermalSpec {
+	return ThermalSpec{
+		Enabled:        true,
+		AmbientC:       24,
+		RthCPerW:       0.45,
+		TauSec:         30,
+		ThrottleC:      85,
+		ThrottleFactor: 0.6,
+	}
+}
+
+// Validate reports whether the thermal constants are usable. The disabled
+// zero value is always valid.
+func (t ThermalSpec) Validate() error {
+	if !t.Enabled {
+		return nil
+	}
+	if t.RthCPerW <= 0 || t.TauSec <= 0 {
+		return fmt.Errorf("platform: thermal Rth %g / tau %g must be positive", t.RthCPerW, t.TauSec)
+	}
+	if t.ThrottleC <= t.AmbientC {
+		return fmt.Errorf("platform: throttle point %gC not above ambient %gC", t.ThrottleC, t.AmbientC)
+	}
+	if t.ThrottleFactor <= 0 || t.ThrottleFactor >= 1 {
+		return fmt.Errorf("platform: throttle factor %g outside (0,1)", t.ThrottleFactor)
+	}
+	return nil
+}
+
+// ThermalState tracks the package temperature over a run.
+type ThermalState struct {
+	spec  ThermalSpec
+	tempC float64
+	maxC  float64
+	// time-weighted average accumulation
+	integC   float64
+	totalSec float64
+}
+
+// NewThermalState starts at ambient temperature.
+func NewThermalState(spec ThermalSpec) (*ThermalState, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &ThermalState{spec: spec, tempC: spec.AmbientC, maxC: spec.AmbientC}, nil
+}
+
+// TempC returns the current package temperature.
+func (ts *ThermalState) TempC() float64 { return ts.tempC }
+
+// MaxC returns the highest temperature seen.
+func (ts *ThermalState) MaxC() float64 { return ts.maxC }
+
+// AvgC returns the time-weighted mean temperature (ambient before any
+// advance).
+func (ts *ThermalState) AvgC() float64 {
+	if ts.totalSec == 0 {
+		return ts.spec.AmbientC
+	}
+	return ts.integC / ts.totalSec
+}
+
+// Throttled reports whether the package is at or above the throttle
+// threshold.
+func (ts *ThermalState) Throttled() bool {
+	return ts.spec.Enabled && ts.tempC >= ts.spec.ThrottleC
+}
+
+// Advance integrates the RC model over dt seconds at constant power,
+// using the exact exponential solution of the first-order ODE.
+func (ts *ThermalState) Advance(powerW, dt float64) {
+	if !ts.spec.Enabled || dt <= 0 {
+		return
+	}
+	steady := ts.spec.AmbientC + powerW*ts.spec.RthCPerW
+	// T(t+dt) = steady + (T - steady) * exp(-dt/tau); a second-order
+	// accurate rational approximation avoids math.Exp in the hot loop
+	// for small steps and stays exact in the limit.
+	k := dt / ts.spec.TauSec
+	decay := 1 / (1 + k + 0.5*k*k)
+	ts.tempC = steady + (ts.tempC-steady)*decay
+	// Trapezoidal-ish accumulation for the average.
+	ts.integC += ts.tempC * dt
+	ts.totalSec += dt
+	if ts.tempC > ts.maxC {
+		ts.maxC = ts.tempC
+	}
+}
+
+// ThrottleFactor returns the rate/power scale to apply while throttled.
+func (ts *ThermalState) ThrottleFactor() float64 { return ts.spec.ThrottleFactor }

@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultThermalSpecValid(t *testing.T) {
+	if err := DefaultThermalSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The zero value (disabled) is valid too.
+	if err := (ThermalSpec{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalSpecValidation(t *testing.T) {
+	mut := []func(*ThermalSpec){
+		func(s *ThermalSpec) { s.RthCPerW = 0 },
+		func(s *ThermalSpec) { s.TauSec = -1 },
+		func(s *ThermalSpec) { s.ThrottleC = s.AmbientC },
+		func(s *ThermalSpec) { s.ThrottleFactor = 0 },
+		func(s *ThermalSpec) { s.ThrottleFactor = 1 },
+	}
+	for i, f := range mut {
+		s := DefaultThermalSpec()
+		f(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestThermalStateStartsAtAmbient(t *testing.T) {
+	ts, err := NewThermalState(DefaultThermalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.TempC() != 24 || ts.MaxC() != 24 || ts.AvgC() != 24 {
+		t.Errorf("initial temps %g/%g/%g, want ambient", ts.TempC(), ts.MaxC(), ts.AvgC())
+	}
+	if ts.Throttled() {
+		t.Error("throttled at ambient")
+	}
+}
+
+func TestThermalStateConvergesToSteadyState(t *testing.T) {
+	spec := DefaultThermalSpec()
+	spec.ThrottleC = 1000 // never throttle in this test
+	ts, err := NewThermalState(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const power = 100.0
+	steady := spec.AmbientC + power*spec.RthCPerW // 24 + 45 = 69
+	for i := 0; i < 10000; i++ {
+		ts.Advance(power, 0.05)
+	}
+	if math.Abs(ts.TempC()-steady) > 0.5 {
+		t.Errorf("temperature %g, want steady state %g", ts.TempC(), steady)
+	}
+	if ts.MaxC() > steady+0.5 {
+		t.Errorf("overshoot: max %g above steady %g", ts.MaxC(), steady)
+	}
+	if ts.AvgC() <= spec.AmbientC || ts.AvgC() >= steady {
+		t.Errorf("average %g outside (ambient, steady)", ts.AvgC())
+	}
+}
+
+func TestThermalThrottleTrigger(t *testing.T) {
+	spec := DefaultThermalSpec()
+	ts, err := NewThermalState(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 150 W steady state is 24 + 67.5 = 91.5C > 85C: must throttle
+	// eventually.
+	for i := 0; i < 100000 && !ts.Throttled(); i++ {
+		ts.Advance(150, 0.05)
+	}
+	if !ts.Throttled() {
+		t.Fatal("high power never triggered throttling")
+	}
+	if ts.ThrottleFactor() != spec.ThrottleFactor {
+		t.Error("throttle factor mismatch")
+	}
+	// Cooling at idle power brings it back below the threshold.
+	for i := 0; i < 100000 && ts.Throttled(); i++ {
+		ts.Advance(50, 0.05)
+	}
+	if ts.Throttled() {
+		t.Error("never recovered from throttling at low power")
+	}
+}
+
+func TestThermalDisabledIsInert(t *testing.T) {
+	ts, err := NewThermalState(ThermalSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Advance(500, 100)
+	if ts.TempC() != 0 || ts.Throttled() {
+		t.Error("disabled thermal state changed")
+	}
+}
+
+// Property: temperature stays within [ambient, ambient + P*Rth] for any
+// constant power and any step pattern.
+func TestThermalBoundsProperty(t *testing.T) {
+	spec := DefaultThermalSpec()
+	spec.ThrottleC = 10000
+	prop := func(powerRaw, dtRaw float64, steps uint8) bool {
+		power := math.Mod(math.Abs(powerRaw), 200)
+		ts, err := NewThermalState(spec)
+		if err != nil {
+			return false
+		}
+		hi := spec.AmbientC + power*spec.RthCPerW
+		n := 1 + int(steps)%100
+		for i := 0; i < n; i++ {
+			dt := 0.001 + math.Mod(math.Abs(dtRaw), 5)
+			ts.Advance(power, dt)
+			if ts.TempC() < spec.AmbientC-1e-9 || ts.TempC() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

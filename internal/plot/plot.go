@@ -1,0 +1,157 @@
+// Package plot renders minimal SVG line/scatter charts with the standard
+// library only. It exists so the experiment commands can emit Fig. 2,
+// Fig. 4 and Fig. 5 as viewable files, not to be a general plotting
+// library.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line (or point set) on a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data; lengths must match.
+	X, Y []float64
+	// Scatter draws markers only (no connecting line).
+	Scatter bool
+}
+
+// Chart is a 2-D chart with linear axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height in pixels; defaults 720x420 when zero.
+	Width, Height int
+}
+
+// palette cycles through visually distinct stroke colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const margin = 56.0
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 420
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q empty", s.Name)
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom on Y.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	px := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(height) - margin - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, float64(height)-margin, float64(width)-margin, float64(height)-margin)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, margin, margin, float64(height)-margin)
+	// Title and labels.
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-size="15" font-family="sans-serif">%s</text>`+"\n", width/2, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="12" font-family="sans-serif">%s</text>`+"\n", width/2, height-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-size="12" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`+"\n", height/2, height/2, escape(c.YLabel))
+	}
+	// Axis ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="10" font-family="sans-serif">%s</text>`+"\n",
+			px(xv), float64(height)-margin+16, tick(xv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" font-size="10" font-family="sans-serif">%s</text>`+"\n",
+			margin-6, py(yv)+4, tick(yv))
+		// Light gridlines.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			margin, py(yv), float64(width)-margin, py(yv))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		if !s.Scatter {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		} else {
+			for i := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+			}
+		}
+		// Legend entry.
+		ly := margin + float64(si)*16
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", float64(width)-margin-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			float64(width)-margin-95, ly+9, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func tick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,63 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasic(t *testing.T) {
+	c := &Chart{
+		Title:  "FPS over time",
+		XLabel: "frame",
+		YLabel: "FPS",
+		Series: []Series{
+			{Name: "mamut", X: []float64{0, 1, 2, 3}, Y: []float64{10, 24, 30, 26}},
+			{Name: "points", X: []float64{0, 2}, Y: []float64{20, 22}, Scatter: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "circle", "FPS over time", "mamut", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Chart{Title: "x"}
+	if err := empty.WriteSVG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&buf); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	noData := &Chart{Series: []Series{{Name: "empty"}}}
+	if err := noData.WriteSVG(&buf); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("svg contains NaN coordinates")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("a<b&c>d") != "a&lt;b&amp;c&gt;d" {
+		t.Error("escape wrong")
+	}
+}

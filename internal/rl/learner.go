@@ -1,0 +1,180 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phase is the per-state learning phase of paper SIV.
+type Phase int
+
+const (
+	// Exploration: take random actions from the agent's own action set and
+	// record every observed transition.
+	Exploration Phase = iota
+	// ExploreExploit: stop taking random actions but keep updating the
+	// Q-table (entered when the learning rate drops below alpha_th1).
+	ExploreExploit
+	// Exploitation: act cooperatively via the expected-Q chain (entered
+	// when the learning rate drops below alpha_th2).
+	Exploitation
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case Exploration:
+		return "exploration"
+	case ExploreExploit:
+		return "explore-exploit"
+	case Exploitation:
+		return "exploitation"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Config parametrises a Learner. The defaults mirror paper SIV-B.
+type Config struct {
+	// States and Actions size the tables.
+	States, Actions int
+	// Beta is the weight of the 1/Num(s,a) learning-rate term.
+	Beta float64
+	// BetaPrime is the weight of the cross-agent coupling term; zero for a
+	// mono-agent learner.
+	BetaPrime float64
+	// AlphaTh1 and AlphaTh2 are the phase thresholds (0.1 and 0.05).
+	AlphaTh1, AlphaTh2 float64
+	// Gamma is the discount factor (0.6).
+	Gamma float64
+}
+
+// DefaultConfig returns the paper's constants for the given table sizes.
+func DefaultConfig(states, actions int) Config {
+	return Config{
+		States:    states,
+		Actions:   actions,
+		Beta:      0.3,
+		BetaPrime: 0.2,
+		AlphaTh1:  0.1,
+		AlphaTh2:  0.05,
+		Gamma:     0.6,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.States < 1 || c.Actions < 1 {
+		return fmt.Errorf("rl: config dimensions %dx%d invalid", c.States, c.Actions)
+	}
+	if c.Beta <= 0 {
+		return fmt.Errorf("rl: beta %g must be positive", c.Beta)
+	}
+	if c.BetaPrime < 0 {
+		return fmt.Errorf("rl: beta' %g must be non-negative", c.BetaPrime)
+	}
+	if !(c.AlphaTh1 > c.AlphaTh2) || c.AlphaTh2 <= 0 {
+		return fmt.Errorf("rl: thresholds must satisfy th1 %g > th2 %g > 0", c.AlphaTh1, c.AlphaTh2)
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("rl: gamma %g outside [0,1)", c.Gamma)
+	}
+	return nil
+}
+
+// Learner bundles one agent's Q-table, visit counts and transition model,
+// and implements the eq. (3) learning rate and the Q update.
+type Learner struct {
+	cfg    Config
+	Q      *QTable
+	Visits *Counter
+	Trans  *Transitions
+}
+
+// NewLearner builds a learner from a validated config.
+func NewLearner(cfg Config) (*Learner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	q, err := NewQTable(cfg.States, cfg.Actions)
+	if err != nil {
+		return nil, err
+	}
+	v, err := NewCounter(cfg.States, cfg.Actions)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := NewTransitions(cfg.States, cfg.Actions)
+	if err != nil {
+		return nil, err
+	}
+	return &Learner{cfg: cfg, Q: q, Visits: v, Trans: tr}, nil
+}
+
+// Config returns the learner's configuration.
+func (l *Learner) Config() Config { return l.cfg }
+
+// Alpha evaluates the eq. (3) learning rate for (s,a):
+//
+//	alpha_i(s,a) = beta_i/Num(s,a) + beta'_i/(1 + sum_{j!=i} min_a Num_j(a))
+//
+// otherMinSum is the sum over the *other* agents of their least-taken
+// action's count. An unvisited pair has learning rate clamped to 1.
+func (l *Learner) Alpha(s, a, otherMinSum int) float64 {
+	if otherMinSum < 0 {
+		otherMinSum = 0
+	}
+	n := l.Visits.Num(s, a)
+	var first float64
+	if n == 0 {
+		first = 1
+	} else {
+		first = l.cfg.Beta / float64(n)
+	}
+	second := l.cfg.BetaPrime / float64(1+otherMinSum)
+	return math.Min(1, first+second)
+}
+
+// AlphaMax returns the largest learning rate over the actions of state s —
+// the quantity the per-state phase machine thresholds against: a state only
+// leaves exploration when *every* one of its actions is well-observed.
+func (l *Learner) AlphaMax(s, otherMinSum int) float64 {
+	worst := 0.0
+	for a := 0; a < l.cfg.Actions; a++ {
+		if v := l.Alpha(s, a, otherMinSum); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// PhaseFor returns the learning phase of state s given the other agents'
+// exploration progress. New (never-seen) states are in Exploration by
+// construction since their alpha is 1.
+func (l *Learner) PhaseFor(s, otherMinSum int) Phase {
+	a := l.AlphaMax(s, otherMinSum)
+	switch {
+	case a < l.cfg.AlphaTh2:
+		return Exploitation
+	case a < l.cfg.AlphaTh1:
+		return ExploreExploit
+	default:
+		return Exploration
+	}
+}
+
+// Update performs one Q-learning step for the observed interaction
+// (s, a, reward, next): records the visit and the transition, then applies
+//
+//	Q(s,a) += alpha * (reward + gamma*max_a' Q(next,a') - Q(s,a))
+//
+// with alpha from eq. (3) evaluated *after* the visit is counted. It
+// returns the learning rate used.
+func (l *Learner) Update(s, a, next int, reward float64, otherMinSum int) float64 {
+	l.Visits.Observe(s, a)
+	l.Trans.Observe(s, a, next)
+	alpha := l.Alpha(s, a, otherMinSum)
+	target := reward + l.cfg.Gamma*l.Q.Max(next)
+	l.Q.Set(s, a, l.Q.Get(s, a)+alpha*(target-l.Q.Get(s, a)))
+	return alpha
+}

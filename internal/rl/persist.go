@@ -1,0 +1,79 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// learnerState is the serialised form of a Learner. Transition counts are
+// stored sparsely: only observed (s,a,s') triples.
+type learnerState struct {
+	Config Config `json:"config"`
+	// Q is the dense Q-table, row-major [state][action].
+	Q []float64 `json:"q"`
+	// VisitsSA is the dense Num(s,a) table; VisitsAction the per-action
+	// totals.
+	VisitsSA     []int `json:"visits_sa"`
+	VisitsAction []int `json:"visits_action"`
+	// Transitions lists observed (state, action, next, count) tuples.
+	Transitions [][4]int `json:"transitions"`
+}
+
+// Save serialises the learner's complete learning state (Q-table, visit
+// counts, transition model) as JSON. A trained controller can thus be
+// persisted and redeployed — the paper's evaluation relies on tables that
+// persist across repetitions of the transcoding process (SV-A).
+func (l *Learner) Save(w io.Writer) error {
+	st := learnerState{
+		Config:       l.cfg,
+		Q:            append([]float64(nil), l.Q.q...),
+		VisitsSA:     append([]int(nil), l.Visits.sa...),
+		VisitsAction: append([]int(nil), l.Visits.perAction...),
+	}
+	for s := 0; s < l.cfg.States; s++ {
+		for a := 0; a < l.cfg.Actions; a++ {
+			i := l.Trans.idx(s, a)
+			for next, n := range l.Trans.counts[i] {
+				st.Transitions = append(st.Transitions, [4]int{s, a, next, n})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&st); err != nil {
+		return fmt.Errorf("rl: save learner: %w", err)
+	}
+	return nil
+}
+
+// LoadLearner deserialises a learner saved with Save. The restored
+// learner is behaviourally identical to the saved one.
+func LoadLearner(r io.Reader) (*Learner, error) {
+	var st learnerState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("rl: load learner: %w", err)
+	}
+	l, err := NewLearner(st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load learner: %w", err)
+	}
+	n := st.Config.States * st.Config.Actions
+	if len(st.Q) != n || len(st.VisitsSA) != n || len(st.VisitsAction) != st.Config.Actions {
+		return nil, fmt.Errorf("rl: load learner: table sizes do not match config %dx%d",
+			st.Config.States, st.Config.Actions)
+	}
+	copy(l.Q.q, st.Q)
+	copy(l.Visits.sa, st.VisitsSA)
+	copy(l.Visits.perAction, st.VisitsAction)
+	for _, t := range st.Transitions {
+		s, a, next, count := t[0], t[1], t[2], t[3]
+		if s < 0 || s >= st.Config.States || a < 0 || a >= st.Config.Actions ||
+			next < 0 || next >= st.Config.States || count < 1 {
+			return nil, fmt.Errorf("rl: load learner: invalid transition tuple %v", t)
+		}
+		for i := 0; i < count; i++ {
+			l.Trans.Observe(s, a, next)
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,82 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func trainedLearner(t *testing.T, seed int64) *Learner {
+	t.Helper()
+	l, err := NewLearner(DefaultConfig(20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2000; i++ {
+		l.Update(rng.Intn(20), rng.Intn(5), rng.Intn(20), -4+8*rng.Float64(), rng.Intn(30))
+	}
+	return l
+}
+
+func TestLearnerSaveLoadRoundTrip(t *testing.T) {
+	l := trainedLearner(t, 1)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLearner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != l.Config() {
+		t.Fatal("config not restored")
+	}
+	for s := 0; s < 20; s++ {
+		for a := 0; a < 5; a++ {
+			if got.Q.Get(s, a) != l.Q.Get(s, a) {
+				t.Fatalf("Q(%d,%d) = %g, want %g", s, a, got.Q.Get(s, a), l.Q.Get(s, a))
+			}
+			if got.Visits.Num(s, a) != l.Visits.Num(s, a) {
+				t.Fatalf("visits(%d,%d) differ", s, a)
+			}
+			for next := 0; next < 20; next++ {
+				if got.Trans.Prob(s, a, next) != l.Trans.Prob(s, a, next) {
+					t.Fatalf("P(%d,%d,%d) differs", s, a, next)
+				}
+			}
+		}
+	}
+	for a := 0; a < 5; a++ {
+		if got.Visits.NumAction(a) != l.Visits.NumAction(a) {
+			t.Fatalf("per-action count %d differs", a)
+		}
+	}
+	// The restored learner keeps learning identically.
+	alpha1 := l.Update(3, 2, 7, 0.5, 10)
+	alpha2 := got.Update(3, 2, 7, 0.5, 10)
+	if alpha1 != alpha2 || l.Q.Get(3, 2) != got.Q.Get(3, 2) {
+		t.Error("restored learner diverges on further updates")
+	}
+}
+
+func TestLoadLearnerRejectsGarbage(t *testing.T) {
+	if _, err := LoadLearner(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadLearner(strings.NewReader(`{"config":{"States":0}}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	// Mismatched table sizes.
+	if _, err := LoadLearner(strings.NewReader(
+		`{"config":{"States":2,"Actions":2,"Beta":0.3,"AlphaTh1":0.1,"AlphaTh2":0.05,"Gamma":0.6},"q":[1],"visits_sa":[0,0,0,0],"visits_action":[0,0]}`)); err == nil {
+		t.Error("short Q table accepted")
+	}
+	// Invalid transition tuple.
+	if _, err := LoadLearner(strings.NewReader(
+		`{"config":{"States":2,"Actions":2,"Beta":0.3,"AlphaTh1":0.1,"AlphaTh2":0.05,"Gamma":0.6},` +
+			`"q":[0,0,0,0],"visits_sa":[0,0,0,0],"visits_action":[0,0],"transitions":[[5,0,0,1]]}`)); err == nil {
+		t.Error("out-of-range transition accepted")
+	}
+}

@@ -1,0 +1,490 @@
+package transcode
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mamut/internal/hevc"
+	"mamut/internal/platform"
+	"mamut/internal/video"
+)
+
+// DefaultTargetFPS is the real-time target frame rate of the paper.
+const DefaultTargetFPS = 24.0
+
+// fpsWindow is the number of recent frames the windowed FPS estimate
+// averages over. Six frames matches the fastest agent period, so every
+// DVFS decision sees a fresh estimate.
+const fpsWindow = 6
+
+// SessionConfig describes one user's transcoding request.
+type SessionConfig struct {
+	// Source provides the stream content. Required.
+	Source video.Source
+	// Preset overrides the paper's resolution->preset mapping when set.
+	Preset *hevc.Preset
+	// Controller drives the session's knobs. Required.
+	Controller Controller
+	// Initial are the knob settings for the first frame.
+	Initial Settings
+	// BandwidthMbps is the user's available bandwidth (the bitrate
+	// constraint). Zero means unconstrained.
+	BandwidthMbps float64
+	// TargetFPS is the real-time target; DefaultTargetFPS when zero.
+	TargetFPS float64
+	// FrameBudget is how many frames to transcode; required, positive.
+	FrameBudget int
+	// StartAtSec delays the session's arrival: it joins the contention
+	// pool at this simulated time (0 = present from the start). Models
+	// the paper's SV-C "users coming and going continuously".
+	StartAtSec float64
+	// CollectTrace keeps every Observation in the session result.
+	CollectTrace bool
+}
+
+// session is the engine's live state for one stream.
+type session struct {
+	cfg      SessionConfig
+	id       int
+	enc      *hevc.Encoder
+	settings Settings
+
+	frameIdx   int
+	remaining  float64 // cycles left in the current frame
+	frameStart float64 // sim time the current frame began
+	curFrame   video.Frame
+	curPSNR    float64
+	curBits    float64
+
+	durations [fpsWindow]float64
+	nDur      int
+
+	done bool
+
+	// accumulators for the result
+	dynEnergyJ  float64
+	frames      int
+	violations  int
+	sumFPS      float64
+	sumPSNR     float64
+	sumBitrate  float64
+	sumThreads  float64
+	sumFreq     float64
+	sumQP       float64
+	trace       []Observation
+	firstAction bool
+}
+
+// SessionResult summarises one session after a run.
+type SessionResult struct {
+	// ID is the session's index in the engine.
+	ID int
+	// Name is the controller name.
+	Name string
+	// Res is the stream's resolution class.
+	Res video.Resolution
+	// Frames is the number of frames transcoded.
+	Frames int
+	// Violations counts frames whose windowed FPS fell below the target;
+	// ViolationPct is the paper's Delta metric.
+	Violations   int
+	ViolationPct float64
+	// DynEnergyJ is the session's share of the dynamic energy (idle power
+	// is not attributed to sessions).
+	DynEnergyJ float64
+	// Averages over all frames.
+	AvgFPS         float64
+	AvgPSNRdB      float64
+	AvgBitrateMbps float64
+	AvgThreads     float64
+	AvgFreqGHz     float64
+	AvgQP          float64
+	// Trace holds per-frame observations when CollectTrace was set.
+	Trace []Observation
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	// DurationSec is the total simulated time.
+	DurationSec float64
+	// EnergyJ integrates the noise-free package power over the run.
+	EnergyJ float64
+	// AvgPowerW is EnergyJ / DurationSec.
+	AvgPowerW float64
+	// TempMaxC and TempAvgC report package temperature when the spec
+	// enables the thermal model (zero otherwise).
+	TempMaxC float64
+	TempAvgC float64
+	// Sessions holds one entry per configured session, in order.
+	Sessions []SessionResult
+}
+
+// Engine simulates a set of sessions sharing one server.
+type Engine struct {
+	server   *platform.Server
+	model    hevc.Model
+	sessions []*session
+	rng      *rand.Rand
+	now      float64
+	energy   float64
+	thermal  *platform.ThermalState
+}
+
+// NewEngine builds an engine over the given platform spec and encoder
+// model. The seed drives all stochastic parts owned by the engine (power
+// metering and encoder noise); video sources carry their own rngs.
+func NewEngine(spec platform.Spec, model hevc.Model, seed int64) (*Engine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	srv, err := platform.NewServer(spec, rand.New(rand.NewSource(rng.Int63())))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{server: srv, model: model, rng: rng}
+	if spec.Thermal.Enabled {
+		ts, err := platform.NewThermalState(spec.Thermal)
+		if err != nil {
+			return nil, err
+		}
+		e.thermal = ts
+	}
+	return e, nil
+}
+
+// Server exposes the platform (used by controllers needing spec data).
+func (e *Engine) Server() *platform.Server { return e.server }
+
+// AddSession registers a session before Run. It returns the session id.
+func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
+	if cfg.Source == nil {
+		return 0, fmt.Errorf("transcode: session needs a video source")
+	}
+	if cfg.Controller == nil {
+		return 0, fmt.Errorf("transcode: session needs a controller")
+	}
+	if cfg.FrameBudget < 1 {
+		return 0, fmt.Errorf("transcode: frame budget %d < 1", cfg.FrameBudget)
+	}
+	if err := cfg.Initial.Validate(); err != nil {
+		return 0, fmt.Errorf("transcode: initial settings: %w", err)
+	}
+	if cfg.TargetFPS == 0 {
+		cfg.TargetFPS = DefaultTargetFPS
+	}
+	if cfg.TargetFPS < 0 {
+		return 0, fmt.Errorf("transcode: negative target FPS %g", cfg.TargetFPS)
+	}
+	if cfg.StartAtSec < 0 {
+		return 0, fmt.Errorf("transcode: negative start time %g", cfg.StartAtSec)
+	}
+	preset := hevc.PresetFor(cfg.Source.Res())
+	if cfg.Preset != nil {
+		preset = *cfg.Preset
+	}
+	enc, err := hevc.NewEncoder(cfg.Source.Res(), preset, e.model, rand.New(rand.NewSource(e.rng.Int63())))
+	if err != nil {
+		return 0, err
+	}
+	id := len(e.sessions)
+	e.sessions = append(e.sessions, &session{
+		cfg:         cfg,
+		id:          id,
+		enc:         enc,
+		settings:    cfg.Initial,
+		firstAction: true,
+	})
+	return id, nil
+}
+
+// maxEventsPerFrame bounds the event loop against accidental livelock.
+const maxEventsPerFrame = 64
+
+// Run simulates until every session exhausts its frame budget and returns
+// the aggregated result. A session that reaches its budget stops encoding
+// and releases its resources (the user left).
+func (e *Engine) Run() (*Result, error) { return e.run(false) }
+
+// RunUntilAll simulates until every session has reached its frame budget,
+// but — unlike Run — sessions that reach their budget keep transcoding
+// until the last one catches up. This models a server whose streams
+// continue beyond the measurement window, so contention stays constant
+// and a measured window is never polluted by departed sessions.
+func (e *Engine) RunUntilAll() (*Result, error) { return e.run(true) }
+
+func (e *Engine) run(untilAll bool) (*Result, error) {
+	if len(e.sessions) == 0 {
+		return nil, fmt.Errorf("transcode: no sessions")
+	}
+	totalFrames := 0
+	for _, s := range e.sessions {
+		totalFrames += s.cfg.FrameBudget
+	}
+	maxEvents := totalFrames * maxEventsPerFrame
+
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return nil, fmt.Errorf("transcode: event budget exhausted (%d events)", maxEvents)
+		}
+		if untilAll && e.allReachedBudget() {
+			break
+		}
+
+		// Start frames for any session that needs one.
+		active := e.startFrames(untilAll)
+		if len(active) == 0 {
+			// Nothing running: jump to the next arrival if one is
+			// pending, otherwise the run is complete.
+			if arrival := e.nextArrival(); !math.IsInf(arrival, 1) {
+				idle := e.server.Spec().IdlePowerW
+				e.energy += idle * (arrival - e.now)
+				if e.thermal != nil {
+					e.thermal.Advance(idle, arrival-e.now)
+				}
+				e.now = arrival
+				continue
+			}
+			break
+		}
+
+		// Evaluate the platform for the current allocations.
+		loads := make([]platform.SessionLoad, len(active))
+		for i, s := range active {
+			loads[i] = platform.SessionLoad{
+				Threads: s.settings.Threads,
+				FreqGHz: s.settings.FreqGHz,
+				Speedup: s.enc.Speedup(s.settings.Threads),
+			}
+		}
+		snap, err := e.server.Evaluate(loads)
+		if err != nil {
+			return nil, fmt.Errorf("transcode: t=%.3f: %w", e.now, err)
+		}
+
+		// Thermal throttling scales service and dynamic power together
+		// while the package sits above the throttle point.
+		if e.thermal != nil && e.thermal.Throttled() {
+			f := e.thermal.ThrottleFactor()
+			for i := range snap.Rates {
+				snap.Rates[i] *= f
+			}
+			idle := e.server.Spec().IdlePowerW
+			snap.PowerIdealW = idle + (snap.PowerIdealW-idle)*f
+			snap.PowerW = idle + (snap.PowerW-idle)*f
+		}
+
+		// Advance to the next frame completion or session arrival,
+		// whichever comes first.
+		dt := math.Inf(1)
+		for i, s := range active {
+			if t := s.remaining / snap.Rates[i]; t < dt {
+				dt = t
+			}
+		}
+		if arrival := e.nextArrival(); arrival-e.now < dt {
+			dt = arrival - e.now
+			if dt < 0 {
+				dt = 0
+			}
+		}
+		if math.IsInf(dt, 1) || dt < 0 {
+			return nil, fmt.Errorf("transcode: no progress at t=%.3f", e.now)
+		}
+		e.now += dt
+		e.energy += snap.PowerIdealW * dt
+		if e.thermal != nil {
+			e.thermal.Advance(snap.PowerIdealW, dt)
+		}
+
+		const eps = 1e-9
+		for i, s := range active {
+			s.remaining -= snap.Rates[i] * dt
+			s.dynEnergyJ += snap.DynPowerW[i] * dt
+			if s.remaining <= eps*snap.Rates[i] {
+				e.completeFrame(s, snap)
+			}
+		}
+	}
+	return e.buildResult(), nil
+}
+
+// allReachedBudget reports whether every session has transcoded at least
+// its frame budget.
+func (e *Engine) allReachedBudget() bool {
+	for _, s := range e.sessions {
+		if s.frames < s.cfg.FrameBudget {
+			return false
+		}
+	}
+	return true
+}
+
+// startFrames asks controllers for settings and pulls frames for sessions
+// between frames; it returns the sessions that are actively encoding. In
+// untilAll mode sessions run past their budget until everyone has reached
+// theirs.
+func (e *Engine) startFrames(untilAll bool) []*session {
+	var active []*session
+	for _, s := range e.sessions {
+		if s.done || s.cfg.StartAtSec > e.now {
+			continue
+		}
+		if s.remaining <= 0 { // needs a new frame
+			if !untilAll && s.frames >= s.cfg.FrameBudget {
+				s.done = true
+				continue
+			}
+			e.beginFrame(s)
+		}
+		active = append(active, s)
+	}
+	return active
+}
+
+// nextArrival returns the earliest pending session arrival strictly after
+// the current time, or +Inf when none is pending.
+func (e *Engine) nextArrival() float64 {
+	next := math.Inf(1)
+	for _, s := range e.sessions {
+		if !s.done && s.cfg.StartAtSec > e.now && s.cfg.StartAtSec < next {
+			next = s.cfg.StartAtSec
+		}
+	}
+	return next
+}
+
+// beginFrame consults the controller, applies validated settings and draws
+// the next frame's content and quality.
+func (e *Engine) beginFrame(s *session) {
+	proposed := s.cfg.Controller.OnFrameStart(FrameStart{
+		SessionID:  s.id,
+		FrameIndex: s.frameIdx,
+		Time:       e.now,
+		Current:    s.settings,
+	})
+	s.settings = e.sanitize(s, proposed)
+
+	s.curFrame = s.cfg.Source.Next()
+	work, err := s.enc.FrameWork(s.settings.QP, s.curFrame.Complexity)
+	if err != nil {
+		// sanitize guarantees a valid QP; a failure here means the source
+		// produced an invalid frame, which is a programming error.
+		panic(err)
+	}
+	s.remaining = work
+	s.frameStart = e.now
+	psnr, bits, err := s.enc.FrameQuality(s.settings.QP, s.curFrame.Complexity)
+	if err != nil {
+		panic(err)
+	}
+	s.curPSNR, s.curBits = psnr, bits
+}
+
+// sanitize clamps controller output to what the hardware and encoder
+// accept, so a buggy or exploring controller cannot wedge the engine.
+func (e *Engine) sanitize(s *session, p Settings) Settings {
+	if p.QP < hevc.MinQP {
+		p.QP = hevc.MinQP
+	}
+	if p.QP > hevc.MaxQP {
+		p.QP = hevc.MaxQP
+	}
+	if p.Threads < 1 {
+		p.Threads = 1
+	}
+	if max := e.server.Spec().LogicalCPUs(); p.Threads > max {
+		p.Threads = max
+	}
+	p.FreqGHz = e.server.Spec().Nearest(p.FreqGHz)
+	return p
+}
+
+// completeFrame books metrics and notifies the controller.
+func (e *Engine) completeFrame(s *session, snap platform.Snapshot) {
+	dur := e.now - s.frameStart
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	s.durations[s.nDur%fpsWindow] = dur
+	s.nDur++
+
+	n := s.nDur
+	if n > fpsWindow {
+		n = fpsWindow
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.durations[i]
+	}
+	fps := float64(n) / sum
+
+	obs := Observation{
+		SessionID:    s.id,
+		FrameIndex:   s.frameIdx,
+		Time:         e.now,
+		DurationSec:  dur,
+		FPS:          fps,
+		InstFPS:      1 / dur,
+		PSNRdB:       s.curPSNR,
+		BitrateMbps:  s.curBits * s.cfg.TargetFPS / 1e6,
+		PowerW:       snap.PowerW,
+		OverCap:      e.server.OverCap(snap.PowerW),
+		Settings:     s.settings,
+		Complexity:   s.curFrame.Complexity,
+		SceneChange:  s.curFrame.SceneChange,
+		SequenceName: s.cfg.Source.Sequence().Name,
+	}
+
+	s.frames++
+	s.frameIdx++
+	s.remaining = 0
+	if fps < s.cfg.TargetFPS {
+		s.violations++
+	}
+	s.sumFPS += fps
+	s.sumPSNR += s.curPSNR
+	s.sumBitrate += obs.BitrateMbps
+	s.sumThreads += float64(s.settings.Threads)
+	s.sumFreq += s.settings.FreqGHz
+	s.sumQP += float64(s.settings.QP)
+	if s.cfg.CollectTrace {
+		s.trace = append(s.trace, obs)
+	}
+	s.cfg.Controller.OnFrameDone(obs)
+}
+
+func (e *Engine) buildResult() *Result {
+	res := &Result{DurationSec: e.now, EnergyJ: e.energy}
+	if e.now > 0 {
+		res.AvgPowerW = e.energy / e.now
+	}
+	if e.thermal != nil {
+		res.TempMaxC = e.thermal.MaxC()
+		res.TempAvgC = e.thermal.AvgC()
+	}
+	for _, s := range e.sessions {
+		sr := SessionResult{
+			ID:         s.id,
+			Name:       s.cfg.Controller.Name(),
+			Res:        s.cfg.Source.Res(),
+			Frames:     s.frames,
+			Violations: s.violations,
+			DynEnergyJ: s.dynEnergyJ,
+			Trace:      s.trace,
+		}
+		if s.frames > 0 {
+			f := float64(s.frames)
+			sr.ViolationPct = 100 * float64(s.violations) / f
+			sr.AvgFPS = s.sumFPS / f
+			sr.AvgPSNRdB = s.sumPSNR / f
+			sr.AvgBitrateMbps = s.sumBitrate / f
+			sr.AvgThreads = s.sumThreads / f
+			sr.AvgFreqGHz = s.sumFreq / f
+			sr.AvgQP = s.sumQP / f
+		}
+		res.Sessions = append(res.Sessions, sr)
+	}
+	return res
+}

@@ -1,0 +1,67 @@
+package transcode
+
+import (
+	"testing"
+
+	"mamut/internal/video"
+)
+
+func TestRunUntilAllKeepsContentionConstant(t *testing.T) {
+	// One fast (LR) and one slow (HR) session with equal budgets: with
+	// Run the LR session finishes early and leaves; with RunUntilAll it
+	// keeps transcoding until the HR session reaches its budget.
+	build := func() *Engine {
+		eng, err := NewEngine(quietSpec(), quietModel(), 51)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr := Settings{QP: 32, Threads: 5, FreqGHz: 3.2}
+		if _, err := eng.AddSession(SessionConfig{
+			Source: testSource(t, video.LR, 52), Controller: &Static{S: lr},
+			Initial: lr, FrameBudget: 200, CollectTrace: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		hr := Settings{QP: 22, Threads: 2, FreqGHz: 1.6} // slow on purpose
+		if _, err := eng.AddSession(SessionConfig{
+			Source: testSource(t, video.HR, 53), Controller: &Static{S: hr},
+			Initial: hr, FrameBudget: 200, CollectTrace: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	resStop, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAll, err := build().RunUntilAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Budgets are exact in stop mode; in until-all mode the fast session
+	// transcodes extra frames.
+	if resStop.Sessions[0].Frames != 200 {
+		t.Errorf("stop mode frames = %d, want 200", resStop.Sessions[0].Frames)
+	}
+	if resAll.Sessions[0].Frames <= 200 {
+		t.Errorf("until-all fast session frames = %d, want > 200", resAll.Sessions[0].Frames)
+	}
+	if resAll.Sessions[1].Frames < 200 {
+		t.Errorf("until-all slow session frames = %d, want >= 200", resAll.Sessions[1].Frames)
+	}
+
+	// The run durations are driven by the slow session either way.
+	if resAll.DurationSec < resStop.DurationSec*0.95 {
+		t.Errorf("until-all duration %.1f much shorter than stop %.1f", resAll.DurationSec, resStop.DurationSec)
+	}
+
+	// In until-all mode the fast session keeps the machine loaded for the
+	// whole run: average power is at least that of the stop-mode run,
+	// where the tail has one session only.
+	if resAll.AvgPowerW < resStop.AvgPowerW {
+		t.Errorf("until-all avg power %.1f below stop mode %.1f", resAll.AvgPowerW, resStop.AvgPowerW)
+	}
+}

@@ -1,0 +1,94 @@
+package transcode
+
+import (
+	"testing"
+
+	"mamut/internal/platform"
+	"mamut/internal/video"
+)
+
+// thermalSpec returns a platform whose thermal model throttles quickly
+// under full load.
+func thermalSpec() platform.Spec {
+	s := quietSpec()
+	s.Thermal = platform.DefaultThermalSpec()
+	s.Thermal.TauSec = 5 // fast thermal response for a short test
+	return s
+}
+
+func TestEngineThermalTrackingReported(t *testing.T) {
+	eng, err := NewEngine(thermalSpec(), quietModel(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Settings{QP: 32, Threads: 10, FreqGHz: 3.2}
+	if _, err := eng.AddSession(SessionConfig{
+		Source: testSource(t, video.HR, 42), Controller: &Static{S: set},
+		Initial: set, FrameBudget: 600,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := thermalSpec().Thermal.AmbientC
+	if res.TempMaxC <= amb {
+		t.Errorf("max temp %.1fC not above ambient %.1fC", res.TempMaxC, amb)
+	}
+	if res.TempAvgC <= amb || res.TempAvgC > res.TempMaxC {
+		t.Errorf("avg temp %.1fC outside (ambient, max]", res.TempAvgC)
+	}
+}
+
+func TestEngineThermalThrottlingSlowsHotWorkload(t *testing.T) {
+	// A saturating workload heats the package past the throttle point;
+	// with throttling the same workload takes longer and caps cooler
+	// than the un-throttled steady state would imply.
+	run := func(spec platform.Spec) *Result {
+		eng, err := NewEngine(spec, quietModel(), 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := Settings{QP: 22, Threads: 12, FreqGHz: 3.2}
+		for i := 0; i < 6; i++ {
+			if _, err := eng.AddSession(SessionConfig{
+				Source: testSource(t, video.HR, int64(44+i)), Controller: &Static{S: set},
+				Initial: set, FrameBudget: 1500,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hot := thermalSpec()
+	hot.Thermal.ThrottleC = 60 // low threshold: throttling will engage
+	cold := quietSpec()        // thermal disabled
+
+	throttled := run(hot)
+	free := run(cold)
+	if throttled.DurationSec <= free.DurationSec {
+		t.Errorf("throttled run not slower: %.1fs vs %.1fs", throttled.DurationSec, free.DurationSec)
+	}
+	if free.TempMaxC != 0 {
+		t.Errorf("disabled thermal reported temperature %.1f", free.TempMaxC)
+	}
+	// Throttling must bound the temperature near the threshold: the
+	// package cannot keep heating at full power once throttled.
+	if throttled.TempMaxC > hot.Thermal.ThrottleC+10 {
+		t.Errorf("max temp %.1fC far above throttle point %.1fC", throttled.TempMaxC, hot.Thermal.ThrottleC)
+	}
+}
+
+func TestEngineRejectsInvalidThermalSpec(t *testing.T) {
+	s := quietSpec()
+	s.Thermal = platform.DefaultThermalSpec()
+	s.Thermal.ThrottleFactor = 2
+	if _, err := NewEngine(s, quietModel(), 1); err == nil {
+		t.Error("invalid thermal spec accepted")
+	}
+}

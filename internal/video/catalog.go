@@ -1,0 +1,102 @@
+package video
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Catalog is a named collection of sequences, indexed by resolution class.
+// The default catalog mirrors the JCT-VC common test conditions classes the
+// paper draws from (class B for HR, class C for LR), with per-sequence
+// content statistics chosen to span near-static (Kimono) to highly dynamic
+// (RaceHorses) material.
+type Catalog struct {
+	seqs map[string]*Sequence
+}
+
+// NewCatalog builds a catalog from the given sequences. Names must be
+// unique and every sequence must validate.
+func NewCatalog(seqs ...*Sequence) (*Catalog, error) {
+	c := &Catalog{seqs: make(map[string]*Sequence, len(seqs))}
+	for _, s := range seqs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.seqs[s.Name]; dup {
+			return nil, fmt.Errorf("video: duplicate sequence name %q", s.Name)
+		}
+		c.seqs[s.Name] = s
+	}
+	return c, nil
+}
+
+// DefaultCatalog returns the JCT-VC-style catalog used throughout the
+// experiments. The numbers are content statistics, not pixel data: base
+// complexity and dynamism are set from the well-known character of each
+// sequence (e.g. BasketballDrive/RaceHorses are high-motion, Kimono is a
+// slow pan).
+func DefaultCatalog() *Catalog {
+	c, err := NewCatalog(
+		// Class B (1920x1080) - HR.
+		&Sequence{Name: "Kimono", Res: HR, Frames: 240, FrameRate: 24, BaseComplexity: 0.85, Dynamism: 0.25, MeanSceneLen: 120},
+		&Sequence{Name: "ParkScene", Res: HR, Frames: 240, FrameRate: 24, BaseComplexity: 0.95, Dynamism: 0.35, MeanSceneLen: 100},
+		&Sequence{Name: "Cactus", Res: HR, Frames: 500, FrameRate: 50, BaseComplexity: 1.00, Dynamism: 0.45, MeanSceneLen: 90},
+		&Sequence{Name: "BasketballDrive", Res: HR, Frames: 500, FrameRate: 50, BaseComplexity: 1.15, Dynamism: 0.80, MeanSceneLen: 60},
+		&Sequence{Name: "BQTerrace", Res: HR, Frames: 600, FrameRate: 60, BaseComplexity: 1.05, Dynamism: 0.55, MeanSceneLen: 80},
+		// Class C (832x480) - LR.
+		&Sequence{Name: "BasketballDrill", Res: LR, Frames: 500, FrameRate: 50, BaseComplexity: 1.05, Dynamism: 0.65, MeanSceneLen: 70},
+		&Sequence{Name: "BQMall", Res: LR, Frames: 600, FrameRate: 60, BaseComplexity: 1.00, Dynamism: 0.50, MeanSceneLen: 90},
+		&Sequence{Name: "PartyScene", Res: LR, Frames: 500, FrameRate: 50, BaseComplexity: 1.20, Dynamism: 0.70, MeanSceneLen: 60},
+		&Sequence{Name: "RaceHorses", Res: LR, Frames: 300, FrameRate: 30, BaseComplexity: 1.25, Dynamism: 0.90, MeanSceneLen: 50},
+	)
+	if err != nil {
+		// The default catalog is a compile-time constant in spirit; a
+		// construction failure is a programming error.
+		panic(err)
+	}
+	return c
+}
+
+// Get returns the sequence with the given name.
+func (c *Catalog) Get(name string) (*Sequence, error) {
+	s, ok := c.seqs[name]
+	if !ok {
+		return nil, fmt.Errorf("video: unknown sequence %q", name)
+	}
+	return s, nil
+}
+
+// Names returns all sequence names in deterministic (sorted) order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.seqs))
+	for n := range c.seqs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByResolution returns the sequences of one resolution class in
+// deterministic (name-sorted) order.
+func (c *Catalog) ByResolution(r Resolution) []*Sequence {
+	var out []*Sequence
+	for _, n := range c.Names() {
+		if s := c.seqs[n]; s.Res == r {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns the number of sequences in the catalog.
+func (c *Catalog) Len() int { return len(c.seqs) }
+
+// Pick returns a uniformly random sequence of the given resolution class.
+func (c *Catalog) Pick(r Resolution, rng *rand.Rand) (*Sequence, error) {
+	pool := c.ByResolution(r)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("video: catalog has no %s sequences", r)
+	}
+	return pool[rng.Intn(len(pool))], nil
+}

@@ -1,0 +1,111 @@
+package video
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Playlist plays a fixed list of sequences back to back, switching after
+// each sequence's nominal frame count, and loops the last entry forever once
+// the list is exhausted. Scenario II of the paper uses playlists of an
+// initial video followed by four random videos of the same resolution.
+type Playlist struct {
+	entries []*Sequence
+	rng     *rand.Rand
+
+	cur       Source
+	curIdx    int
+	remaining int
+	index     int
+}
+
+// NewPlaylist builds a playlist source over the given sequences. All
+// entries must share one resolution class. The rng drives the per-sequence
+// content processes and must not be shared.
+func NewPlaylist(entries []*Sequence, rng *rand.Rand) (*Playlist, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("video: empty playlist")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("video: nil rng")
+	}
+	res := entries[0].Res
+	for _, e := range entries {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		if e.Res != res {
+			return nil, fmt.Errorf("video: playlist mixes resolutions %s and %s", res, e.Res)
+		}
+	}
+	p := &Playlist{entries: entries, rng: rng, curIdx: -1}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ScenarioIIPlaylist builds the stream shape used in paper SV-C: the given
+// initial sequence followed by count random sequences of the same
+// resolution drawn from the catalog.
+func ScenarioIIPlaylist(c *Catalog, initial *Sequence, count int, rng *rand.Rand) (*Playlist, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("video: nil initial sequence")
+	}
+	entries := make([]*Sequence, 0, count+1)
+	entries = append(entries, initial)
+	for i := 0; i < count; i++ {
+		s, err := c.Pick(initial.Res, rng)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, s)
+	}
+	return NewPlaylist(entries, rng)
+}
+
+func (p *Playlist) advance() error {
+	if p.curIdx < len(p.entries)-1 {
+		p.curIdx++
+	}
+	seq := p.entries[p.curIdx]
+	src, err := NewGenerator(seq, p.rng)
+	if err != nil {
+		return err
+	}
+	p.cur = src
+	p.remaining = seq.Frames
+	return nil
+}
+
+// Next returns the next frame, transparently crossing sequence boundaries.
+// The first frame of each new sequence is flagged as a scene change, since
+// for the encoder a source switch is at least as disruptive as a cut.
+func (p *Playlist) Next() Frame {
+	if p.remaining == 0 {
+		// advance cannot fail here: entries were validated in NewPlaylist.
+		if err := p.advance(); err != nil {
+			panic(err)
+		}
+	}
+	p.remaining--
+	f := p.cur.Next()
+	f.Index = p.index
+	p.index++
+	return f
+}
+
+// Sequence returns the catalog entry currently playing.
+func (p *Playlist) Sequence() *Sequence { return p.entries[p.curIdx] }
+
+// Res returns the resolution class of the stream.
+func (p *Playlist) Res() Resolution { return p.entries[0].Res }
+
+// Entries returns the playlist order (useful for logging experiments).
+func (p *Playlist) Entries() []*Sequence {
+	out := make([]*Sequence, len(p.entries))
+	copy(out, p.entries)
+	return out
+}
+
+var _ Source = (*Playlist)(nil)

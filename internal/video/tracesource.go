@@ -1,0 +1,142 @@
+package video
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TraceSource replays an explicit per-frame complexity trace — e.g. one
+// extracted from a real video by an offline analysis pass — instead of the
+// synthetic scene process. It loops the trace forever, flagging the wrap
+// as a scene change.
+type TraceSource struct {
+	seq          *Sequence
+	complexities []float64
+	sceneCuts    map[int]bool
+	pos          int
+	index        int
+}
+
+// NewTraceSource builds a Source that replays the given complexities for a
+// stream of the given name and resolution. sceneCuts (optional) marks
+// trace positions that start a new scene.
+func NewTraceSource(name string, res Resolution, complexities []float64, sceneCuts []int) (*TraceSource, error) {
+	if name == "" {
+		return nil, fmt.Errorf("video: trace source needs a name")
+	}
+	if len(complexities) == 0 {
+		return nil, fmt.Errorf("video: empty complexity trace")
+	}
+	for i, c := range complexities {
+		if c <= 0 {
+			return nil, fmt.Errorf("video: non-positive complexity %g at frame %d", c, i)
+		}
+	}
+	cuts := make(map[int]bool, len(sceneCuts))
+	for _, i := range sceneCuts {
+		if i < 0 || i >= len(complexities) {
+			return nil, fmt.Errorf("video: scene cut %d outside trace of %d frames", i, len(complexities))
+		}
+		cuts[i] = true
+	}
+	seq := &Sequence{
+		Name:           name,
+		Res:            res,
+		Frames:         len(complexities),
+		FrameRate:      24,
+		BaseComplexity: mean(complexities),
+		Dynamism:       0.5, // informational only; the trace drives content
+		MeanSceneLen:   len(complexities),
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceSource{seq: seq, complexities: complexities, sceneCuts: cuts}, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Next implements Source.
+func (t *TraceSource) Next() Frame {
+	f := Frame{
+		Index:       t.index,
+		Complexity:  t.complexities[t.pos],
+		SceneChange: t.sceneCuts[t.pos] || t.pos == 0,
+	}
+	t.index++
+	t.pos++
+	if t.pos == len(t.complexities) {
+		t.pos = 0
+	}
+	return f
+}
+
+// Sequence implements Source.
+func (t *TraceSource) Sequence() *Sequence { return t.seq }
+
+// Res implements Source.
+func (t *TraceSource) Res() Resolution { return t.seq.Res }
+
+var _ Source = (*TraceSource)(nil)
+
+// ReadComplexityCSV parses a complexity trace from CSV. Accepted formats:
+// a single column of floats, or a CSV with a header row containing a
+// "complexity" column (and optionally a "scene_change" boolean column).
+// It returns the complexities and the scene-cut positions.
+func ReadComplexityCSV(r io.Reader) (complexities []float64, sceneCuts []int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("video: read complexity csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("video: empty complexity csv")
+	}
+
+	// Header detection: a "complexity" column name.
+	compCol, sceneCol := -1, -1
+	start := 0
+	for i, h := range records[0] {
+		switch strings.ToLower(strings.TrimSpace(h)) {
+		case "complexity":
+			compCol = i
+		case "scene_change":
+			sceneCol = i
+		}
+	}
+	if compCol >= 0 {
+		start = 1
+	} else {
+		compCol = 0
+	}
+
+	for rowIdx, rec := range records[start:] {
+		if compCol >= len(rec) {
+			return nil, nil, fmt.Errorf("video: row %d has no column %d", rowIdx+start, compCol)
+		}
+		c, err := strconv.ParseFloat(strings.TrimSpace(rec[compCol]), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("video: row %d: bad complexity %q", rowIdx+start, rec[compCol])
+		}
+		complexities = append(complexities, c)
+		if sceneCol >= 0 && sceneCol < len(rec) {
+			if b, err := strconv.ParseBool(strings.TrimSpace(rec[sceneCol])); err == nil && b {
+				sceneCuts = append(sceneCuts, rowIdx)
+			}
+		}
+	}
+	if len(complexities) == 0 {
+		return nil, nil, fmt.Errorf("video: complexity csv has no data rows")
+	}
+	return complexities, sceneCuts, nil
+}

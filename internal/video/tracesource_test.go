@@ -1,0 +1,112 @@
+package video
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceSourceReplaysAndLoops(t *testing.T) {
+	src, err := NewTraceSource("trace", HR, []float64{1.0, 1.2, 0.8}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		c     float64
+		scene bool
+	}{
+		{1.0, true}, {1.2, true}, {0.8, false}, // first pass (frame 0 and cut at 1)
+		{1.0, true}, {1.2, true}, {0.8, false}, // loop wrap flags frame 0 again
+	}
+	for i, w := range want {
+		f := src.Next()
+		if f.Index != i {
+			t.Fatalf("frame %d index %d", i, f.Index)
+		}
+		if f.Complexity != w.c {
+			t.Errorf("frame %d complexity %g, want %g", i, f.Complexity, w.c)
+		}
+		if f.SceneChange != w.scene {
+			t.Errorf("frame %d scene %v, want %v", i, f.SceneChange, w.scene)
+		}
+	}
+	if src.Res() != HR || src.Sequence().Name != "trace" {
+		t.Error("metadata wrong")
+	}
+	if got := src.Sequence().BaseComplexity; got != 1.0 {
+		t.Errorf("base complexity %g, want mean 1.0", got)
+	}
+}
+
+func TestNewTraceSourceValidation(t *testing.T) {
+	if _, err := NewTraceSource("", HR, []float64{1}, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTraceSource("x", HR, nil, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTraceSource("x", HR, []float64{1, 0}, nil); err == nil {
+		t.Error("zero complexity accepted")
+	}
+	if _, err := NewTraceSource("x", HR, []float64{1}, []int{5}); err == nil {
+		t.Error("out-of-range scene cut accepted")
+	}
+}
+
+func TestReadComplexityCSVHeaderless(t *testing.T) {
+	comps, cuts, err := ReadComplexityCSV(strings.NewReader("1.0\n1.5\n0.9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 || comps[1] != 1.5 {
+		t.Errorf("comps = %v", comps)
+	}
+	if len(cuts) != 0 {
+		t.Errorf("cuts = %v", cuts)
+	}
+}
+
+func TestReadComplexityCSVWithHeader(t *testing.T) {
+	in := "frame,complexity,scene_change\n0,1.0,true\n1,1.1,false\n2,1.4,true\n"
+	comps, cuts, err := ReadComplexityCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 || comps[2] != 1.4 {
+		t.Errorf("comps = %v", comps)
+	}
+	if len(cuts) != 2 || cuts[0] != 0 || cuts[1] != 2 {
+		t.Errorf("cuts = %v", cuts)
+	}
+}
+
+func TestReadComplexityCSVErrors(t *testing.T) {
+	if _, _, err := ReadComplexityCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := ReadComplexityCSV(strings.NewReader("complexity\n")); err == nil {
+		t.Error("header-only input accepted")
+	}
+	if _, _, err := ReadComplexityCSV(strings.NewReader("abc\n")); err == nil {
+		t.Error("non-numeric input accepted")
+	}
+}
+
+// Round trip: a trace extracted from a generated sequence drives a
+// TraceSource with identical frames.
+func TestTraceSourceRoundTripWithCSV(t *testing.T) {
+	in := "complexity,scene_change\n1.00,true\n1.05,false\n0.95,false\n1.30,true\n1.25,false\n"
+	comps, cuts, err := ReadComplexityCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewTraceSource("round", LR, comps, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(comps); i++ {
+		f := src.Next()
+		if f.Complexity != comps[i] {
+			t.Errorf("frame %d complexity %g, want %g", i, f.Complexity, comps[i])
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package video models the video sources that a transcoding server serves.
+//
+// The paper evaluates MAMUT on JCT-VC common-test-condition sequences with
+// two resolutions: High Resolution (HR, 1920x1080) and Low Resolution
+// (LR, 832x480). The agents never see pixels; what matters for run-time
+// management is how encoding *work*, output quality and output size vary
+// frame to frame. This package therefore represents a video as a named
+// sequence with per-frame content complexity produced by a scene-based
+// stochastic process: scenes of varying length, each with its own base
+// spatial/temporal complexity, plus within-scene AR(1) jitter and abrupt
+// jumps at scene cuts. That process is what makes the environment the
+// agents face stochastic, exactly as paper SIV-A argues.
+package video
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Resolution identifies one of the two resolution classes used in the paper.
+type Resolution int
+
+const (
+	// HR is the high-resolution class: 1920x1080 (JCT-VC class B).
+	HR Resolution = iota
+	// LR is the low-resolution class: 832x480 (JCT-VC class C).
+	LR
+)
+
+// String returns the paper's shorthand for the resolution class.
+func (r Resolution) String() string {
+	switch r {
+	case HR:
+		return "HR"
+	case LR:
+		return "LR"
+	default:
+		return fmt.Sprintf("Resolution(%d)", int(r))
+	}
+}
+
+// Width returns the luma width in pixels.
+func (r Resolution) Width() int {
+	if r == HR {
+		return 1920
+	}
+	return 832
+}
+
+// Height returns the luma height in pixels.
+func (r Resolution) Height() int {
+	if r == HR {
+		return 1080
+	}
+	return 480
+}
+
+// Pixels returns the number of luma samples per frame.
+func (r Resolution) Pixels() int { return r.Width() * r.Height() }
+
+// CTURows returns the number of 64x64 CTU rows, which bounds the useful
+// wavefront (WPP) parallelism of an HEVC encoder.
+func (r Resolution) CTURows() int {
+	h := r.Height()
+	return (h + 63) / 64
+}
+
+// Frame describes the content of a single frame as seen by the encoder
+// model: a dimensionless complexity around 1.0 and a scene-change flag.
+type Frame struct {
+	// Index is the zero-based display index within the sequence.
+	Index int
+	// Complexity is the combined spatio-temporal coding complexity of the
+	// frame, normalised so that 1.0 is a typical frame. Higher values cost
+	// more encode cycles, more bits, and slightly less PSNR at equal QP.
+	Complexity float64
+	// SceneChange is true when this frame starts a new scene.
+	SceneChange bool
+}
+
+// Sequence describes one catalog entry: a named source video with the
+// statistical parameters of its content.
+type Sequence struct {
+	// Name is the JCT-VC sequence name.
+	Name string
+	// Res is the resolution class the sequence belongs to.
+	Res Resolution
+	// Frames is the nominal sequence length in frames.
+	Frames int
+	// FrameRate is the native capture rate in frames per second.
+	FrameRate float64
+	// BaseComplexity shifts the whole sequence's complexity (1.0 = typical).
+	BaseComplexity float64
+	// Dynamism in [0,1] scales how much complexity moves within and across
+	// scenes: 0 is near-static content, 1 is highly dynamic sport content.
+	Dynamism float64
+	// MeanSceneLen is the average scene length in frames.
+	MeanSceneLen int
+}
+
+// Validate reports whether the sequence parameters are usable.
+func (s *Sequence) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("video: sequence has empty name")
+	case s.Frames <= 0:
+		return fmt.Errorf("video: sequence %s: non-positive frame count %d", s.Name, s.Frames)
+	case s.FrameRate <= 0:
+		return fmt.Errorf("video: sequence %s: non-positive frame rate %g", s.Name, s.FrameRate)
+	case s.BaseComplexity <= 0:
+		return fmt.Errorf("video: sequence %s: non-positive base complexity %g", s.Name, s.BaseComplexity)
+	case s.Dynamism < 0 || s.Dynamism > 1:
+		return fmt.Errorf("video: sequence %s: dynamism %g outside [0,1]", s.Name, s.Dynamism)
+	case s.MeanSceneLen <= 1:
+		return fmt.Errorf("video: sequence %s: mean scene length %d too small", s.Name, s.MeanSceneLen)
+	}
+	return nil
+}
+
+// Source produces the per-frame content of a video stream. A Source never
+// ends on its own: streams loop or chain according to the playlist that
+// built them, and the transcoding engine decides how many frames to pull.
+type Source interface {
+	// Next returns the content descriptor of the next frame.
+	Next() Frame
+	// Sequence returns the catalog entry currently playing.
+	Sequence() *Sequence
+	// Res returns the resolution class of the stream (fixed for a stream).
+	Res() Resolution
+}
+
+// complexity process constants. Within a scene the complexity follows an
+// AR(1) process around the scene mean; scene cuts redraw the mean.
+const (
+	ar1Coeff        = 0.90 // frame-to-frame correlation within a scene
+	innovationScale = 0.05 // white-noise scale, multiplied by dynamism
+	sceneJumpScale  = 0.35 // scene-mean spread, multiplied by dynamism
+	minComplexity   = 0.40
+	maxComplexity   = 2.50
+)
+
+// generator streams frames for a single Sequence.
+type generator struct {
+	seq        *Sequence
+	rng        *rand.Rand
+	index      int
+	sceneLeft  int
+	sceneMean  float64
+	current    float64
+	firstFrame bool
+}
+
+// NewGenerator returns a Source that plays seq forever (looping), using rng
+// for the content process. The rng must not be shared with other consumers.
+func NewGenerator(seq *Sequence, rng *rand.Rand) (Source, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("video: nil rng")
+	}
+	g := &generator{seq: seq, rng: rng, firstFrame: true}
+	g.startScene()
+	return g, nil
+}
+
+func (g *generator) startScene() {
+	d := g.seq.Dynamism
+	// Scene length is geometric-ish around the mean, at least 8 frames so a
+	// "scene" is long enough for agents to react to.
+	mean := float64(g.seq.MeanSceneLen)
+	l := int(mean * (0.5 + g.rng.Float64()))
+	if l < 8 {
+		l = 8
+	}
+	g.sceneLeft = l
+	g.sceneMean = clampComplexity(g.seq.BaseComplexity * (1 + sceneJumpScale*d*g.rng.NormFloat64()))
+	g.current = g.sceneMean
+}
+
+func (g *generator) Next() Frame {
+	sceneChange := false
+	if g.sceneLeft == 0 {
+		g.startScene()
+		sceneChange = true
+	}
+	g.sceneLeft--
+
+	d := g.seq.Dynamism
+	// AR(1) around the scene mean.
+	noise := innovationScale * (0.3 + d) * g.rng.NormFloat64()
+	g.current = g.sceneMean + ar1Coeff*(g.current-g.sceneMean) + noise*g.sceneMean
+	g.current = clampComplexity(g.current)
+
+	f := Frame{
+		Index:       g.index,
+		Complexity:  g.current,
+		SceneChange: sceneChange || g.firstFrame,
+	}
+	g.firstFrame = false
+	g.index++
+	return f
+}
+
+func (g *generator) Sequence() *Sequence { return g.seq }
+func (g *generator) Res() Resolution     { return g.seq.Res }
+
+func clampComplexity(c float64) float64 {
+	if c < minComplexity {
+		return minComplexity
+	}
+	if c > maxComplexity {
+		return maxComplexity
+	}
+	return c
+}

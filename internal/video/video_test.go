@@ -1,0 +1,304 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResolutionGeometry(t *testing.T) {
+	cases := []struct {
+		res         Resolution
+		w, h, px    int
+		rows        int
+		stringLabel string
+	}{
+		{HR, 1920, 1080, 1920 * 1080, 17, "HR"},
+		{LR, 832, 480, 832 * 480, 8, "LR"},
+	}
+	for _, c := range cases {
+		if got := c.res.Width(); got != c.w {
+			t.Errorf("%s Width = %d, want %d", c.res, got, c.w)
+		}
+		if got := c.res.Height(); got != c.h {
+			t.Errorf("%s Height = %d, want %d", c.res, got, c.h)
+		}
+		if got := c.res.Pixels(); got != c.px {
+			t.Errorf("%s Pixels = %d, want %d", c.res, got, c.px)
+		}
+		if got := c.res.CTURows(); got != c.rows {
+			t.Errorf("%s CTURows = %d, want %d", c.res, got, c.rows)
+		}
+		if got := c.res.String(); got != c.stringLabel {
+			t.Errorf("String = %q, want %q", got, c.stringLabel)
+		}
+	}
+}
+
+func TestResolutionStringUnknown(t *testing.T) {
+	if got := Resolution(99).String(); got != "Resolution(99)" {
+		t.Errorf("unknown resolution String = %q", got)
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	valid := Sequence{Name: "x", Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 50}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	bad := []Sequence{
+		{Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 50},
+		{Name: "x", Frames: 0, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 50},
+		{Name: "x", Frames: 10, FrameRate: 0, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 50},
+		{Name: "x", Frames: 10, FrameRate: 24, BaseComplexity: 0, Dynamism: 0.5, MeanSceneLen: 50},
+		{Name: "x", Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 1.5, MeanSceneLen: 50},
+		{Name: "x", Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: -0.1, MeanSceneLen: 50},
+		{Name: "x", Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sequence %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorComplexityBounds(t *testing.T) {
+	seq := &Sequence{Name: "t", Res: HR, Frames: 100, FrameRate: 24, BaseComplexity: 1.2, Dynamism: 1.0, MeanSceneLen: 20}
+	src, err := NewGenerator(seq, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		f := src.Next()
+		if f.Complexity < minComplexity || f.Complexity > maxComplexity {
+			t.Fatalf("frame %d complexity %g outside [%g,%g]", i, f.Complexity, minComplexity, maxComplexity)
+		}
+		if f.Index != i {
+			t.Fatalf("frame index %d, want %d", f.Index, i)
+		}
+		if math.IsNaN(f.Complexity) {
+			t.Fatalf("frame %d complexity NaN", i)
+		}
+	}
+}
+
+func TestGeneratorFirstFrameIsSceneChange(t *testing.T) {
+	seq := &Sequence{Name: "t", Res: LR, Frames: 100, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 30}
+	src, err := NewGenerator(seq, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := src.Next(); !f.SceneChange {
+		t.Error("first frame not flagged as scene change")
+	}
+	if f := src.Next(); f.SceneChange {
+		t.Error("second frame unexpectedly a scene change (scene too short)")
+	}
+}
+
+func TestGeneratorSceneChangesOccur(t *testing.T) {
+	seq := &Sequence{Name: "t", Res: HR, Frames: 100, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.8, MeanSceneLen: 30}
+	src, err := NewGenerator(seq, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	for i := 0; i < 3000; i++ {
+		if src.Next().SceneChange {
+			changes++
+		}
+	}
+	// With mean scene length 30 we expect on the order of 100 scene cuts;
+	// accept a broad band to keep the test robust to the process details.
+	if changes < 40 || changes > 300 {
+		t.Errorf("scene changes over 3000 frames = %d, want within [40,300]", changes)
+	}
+}
+
+func TestGeneratorRejectsNilRNGAndBadSeq(t *testing.T) {
+	seq := &Sequence{Name: "t", Res: HR, Frames: 100, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 30}
+	if _, err := NewGenerator(seq, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewGenerator(&Sequence{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	seq := &Sequence{Name: "t", Res: HR, Frames: 100, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.6, MeanSceneLen: 40}
+	a, _ := NewGenerator(seq, rand.New(rand.NewSource(42)))
+	b, _ := NewGenerator(seq, rand.New(rand.NewSource(42)))
+	for i := 0; i < 500; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("frame %d diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+// Property: regardless of sequence parameters within the valid domain, the
+// generated complexity stays within the documented clamp bounds.
+func TestGeneratorComplexityBoundsProperty(t *testing.T) {
+	prop := func(base, dyn float64, seed int64) bool {
+		// Map arbitrary floats into the valid parameter domain.
+		b := 0.5 + math.Mod(math.Abs(base), 1.5)
+		d := math.Mod(math.Abs(dyn), 1.0)
+		seq := &Sequence{Name: "p", Res: LR, Frames: 50, FrameRate: 30, BaseComplexity: b, Dynamism: d, MeanSceneLen: 25}
+		src, err := NewGenerator(seq, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			f := src.Next()
+			if f.Complexity < minComplexity || f.Complexity > maxComplexity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCatalog(t *testing.T) {
+	c := DefaultCatalog()
+	if c.Len() != 9 {
+		t.Fatalf("catalog has %d sequences, want 9", c.Len())
+	}
+	hr := c.ByResolution(HR)
+	lr := c.ByResolution(LR)
+	if len(hr) != 5 {
+		t.Errorf("HR sequences = %d, want 5", len(hr))
+	}
+	if len(lr) != 4 {
+		t.Errorf("LR sequences = %d, want 4", len(lr))
+	}
+	for _, s := range append(hr, lr...) {
+		if err := s.Validate(); err != nil {
+			t.Errorf("catalog sequence %s invalid: %v", s.Name, err)
+		}
+	}
+	if _, err := c.Get("Kimono"); err != nil {
+		t.Errorf("Get(Kimono): %v", err)
+	}
+	if _, err := c.Get("DoesNotExist"); err == nil {
+		t.Error("Get of unknown sequence succeeded")
+	}
+}
+
+func TestCatalogNamesSortedAndStable(t *testing.T) {
+	c := DefaultCatalog()
+	names := c.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not strictly sorted: %v", names)
+		}
+	}
+}
+
+func TestCatalogRejectsDuplicates(t *testing.T) {
+	s := &Sequence{Name: "dup", Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.5, MeanSceneLen: 30}
+	if _, err := NewCatalog(s, s); err == nil {
+		t.Error("duplicate sequence names accepted")
+	}
+}
+
+func TestCatalogPick(t *testing.T) {
+	c := DefaultCatalog()
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		s, err := c.Pick(LR, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Res != LR {
+			t.Fatalf("Pick(LR) returned %s sequence %s", s.Res, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Pick over 200 draws saw %d distinct LR sequences, want 4", len(seen))
+	}
+	empty, _ := NewCatalog()
+	if _, err := empty.Pick(HR, rng); err == nil {
+		t.Error("Pick from empty catalog succeeded")
+	}
+}
+
+func TestPlaylistCrossesBoundaries(t *testing.T) {
+	a := &Sequence{Name: "a", Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
+	b := &Sequence{Name: "b", Res: HR, Frames: 15, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
+	p, err := NewPlaylist([]*Sequence{a, b}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f := p.Next()
+		if f.Index != i {
+			t.Fatalf("global index %d, want %d", f.Index, i)
+		}
+		if p.Sequence().Name != "a" {
+			t.Fatalf("frame %d from %s, want a", i, p.Sequence().Name)
+		}
+	}
+	f := p.Next() // first frame of b
+	if p.Sequence().Name != "b" {
+		t.Fatalf("frame 10 from %s, want b", p.Sequence().Name)
+	}
+	if !f.SceneChange {
+		t.Error("sequence switch not flagged as scene change")
+	}
+	// The playlist loops its last entry forever.
+	for i := 0; i < 100; i++ {
+		p.Next()
+	}
+	if p.Sequence().Name != "b" {
+		t.Errorf("after exhaustion playing %s, want b", p.Sequence().Name)
+	}
+}
+
+func TestPlaylistRejectsMixedResolutions(t *testing.T) {
+	a := &Sequence{Name: "a", Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
+	b := &Sequence{Name: "b", Res: LR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
+	if _, err := NewPlaylist([]*Sequence{a, b}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("mixed-resolution playlist accepted")
+	}
+	if _, err := NewPlaylist(nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty playlist accepted")
+	}
+	if _, err := NewPlaylist([]*Sequence{a}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestScenarioIIPlaylist(t *testing.T) {
+	c := DefaultCatalog()
+	rng := rand.New(rand.NewSource(5))
+	init, err := c.Get("Kimono")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ScenarioIIPlaylist(c, init, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := p.Entries()
+	if len(entries) != 5 {
+		t.Fatalf("playlist length %d, want 5", len(entries))
+	}
+	if entries[0].Name != "Kimono" {
+		t.Errorf("first entry %s, want Kimono", entries[0].Name)
+	}
+	for _, e := range entries {
+		if e.Res != HR {
+			t.Errorf("entry %s has resolution %s, want HR", e.Name, e.Res)
+		}
+	}
+	if _, err := ScenarioIIPlaylist(c, nil, 4, rng); err == nil {
+		t.Error("nil initial sequence accepted")
+	}
+}

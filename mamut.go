@@ -1,0 +1,291 @@
+package mamut
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mamut/internal/baseline"
+	"mamut/internal/core"
+	"mamut/internal/experiments"
+	"mamut/internal/hevc"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+// Re-exported substrate types. Aliases keep the public API small while the
+// implementation stays in internal packages.
+type (
+	// Settings are the three knobs a controller manages per stream.
+	Settings = transcode.Settings
+	// Observation is the per-frame feedback a controller receives.
+	Observation = transcode.Observation
+	// Controller decides the knob settings of one stream.
+	Controller = transcode.Controller
+	// Resolution is a stream's resolution class (HR or LR).
+	Resolution = video.Resolution
+	// Sequence is a catalog entry describing one source video.
+	Sequence = video.Sequence
+	// Catalog is a collection of sequences.
+	Catalog = video.Catalog
+	// PlatformSpec describes the server hardware model.
+	PlatformSpec = platform.Spec
+	// EncoderModel holds the HEVC encoder calibration constants.
+	EncoderModel = hevc.Model
+	// MAMUTConfig parametrises the multi-agent controller.
+	MAMUTConfig = core.Config
+	// MAMUTStats is the controller's learning telemetry.
+	MAMUTStats = core.Stats
+)
+
+// Resolution classes.
+const (
+	HR = video.HR
+	LR = video.LR
+)
+
+// Approach identifies a run-time management strategy.
+type Approach = experiments.Approach
+
+// The three approaches compared in the paper.
+const (
+	ApproachHeuristic = experiments.Heuristic
+	ApproachMonoAgent = experiments.MonoAgent
+	ApproachMAMUT     = experiments.MAMUT
+)
+
+// TargetFPS is the paper's real-time objective.
+const TargetFPS = transcode.DefaultTargetFPS
+
+// DefaultPlatform returns the paper's server model (dual Xeon E5-2667 v4).
+func DefaultPlatform() PlatformSpec { return platform.DefaultSpec() }
+
+// DefaultEncoderModel returns the calibrated Kvazaar-style encoder model.
+func DefaultEncoderModel() EncoderModel { return hevc.DefaultModel() }
+
+// DefaultCatalog returns the JCT-VC-style sequence catalog.
+func DefaultCatalog() *Catalog { return video.DefaultCatalog() }
+
+// NewController builds a controller of the given approach for one stream
+// of the given resolution, with the paper's default configuration.
+func NewController(a Approach, res Resolution, seed int64) (Controller, error) {
+	spec := platform.DefaultSpec()
+	model := hevc.DefaultModel()
+	initial := experiments.InitialSettings(res)
+	rng := rand.New(rand.NewSource(seed))
+	switch a {
+	case ApproachHeuristic:
+		return baseline.NewHeuristic(baseline.DefaultHeuristicConfig(res, spec, model.MaxUsefulThreads(res)), initial)
+	case ApproachMonoAgent:
+		return baseline.NewMonoAgent(baseline.DefaultMonoConfig(res, spec, model.MaxUsefulThreads(res)), initial, rng)
+	case ApproachMAMUT:
+		return core.New(core.DefaultConfig(res, spec, model.MaxUsefulThreads(res)), initial, rng)
+	default:
+		return nil, fmt.Errorf("mamut: unknown approach %q", a)
+	}
+}
+
+// SimulationConfig configures a multi-stream transcoding simulation.
+type SimulationConfig struct {
+	// Platform overrides the default server model when non-nil.
+	Platform *PlatformSpec
+	// Encoder overrides the default encoder model when non-nil.
+	Encoder *EncoderModel
+	// Catalog overrides the default sequence catalog when non-nil.
+	Catalog *Catalog
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+}
+
+// StreamConfig describes one user's transcoding request.
+type StreamConfig struct {
+	// Sequence names a catalog entry; the stream loops it.
+	Sequence string
+	// Approach selects the controller (ApproachMAMUT when empty).
+	Approach Approach
+	// Frames is the number of frames to transcode. Required.
+	Frames int
+	// BandwidthMbps is the user's bandwidth; the resolution default
+	// (6 Mb/s HR, 3 Mb/s LR) when zero.
+	BandwidthMbps float64
+	// StartAtSec delays the stream's arrival to the given simulated time,
+	// modelling users joining an already-busy server.
+	StartAtSec float64
+	// CollectTrace keeps per-frame observations in the result.
+	CollectTrace bool
+}
+
+// StreamResult summarises one stream after Run.
+type StreamResult = transcode.SessionResult
+
+// SimulationResult is the outcome of Run.
+type SimulationResult = transcode.Result
+
+// Simulation assembles streams on one simulated server.
+type Simulation struct {
+	eng     *transcode.Engine
+	catalog *Catalog
+	spec    PlatformSpec
+	model   EncoderModel
+	rng     *rand.Rand
+	streams int
+}
+
+// NewSimulation builds an empty simulation.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	spec := platform.DefaultSpec()
+	if cfg.Platform != nil {
+		spec = *cfg.Platform
+	}
+	model := hevc.DefaultModel()
+	if cfg.Encoder != nil {
+		model = *cfg.Encoder
+	}
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = video.DefaultCatalog()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng, err := transcode.NewEngine(spec, model, rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{eng: eng, catalog: catalog, spec: spec, model: model, rng: rng}, nil
+}
+
+// AddStream registers one transcoding request before Run.
+func (s *Simulation) AddStream(cfg StreamConfig) error {
+	if cfg.Sequence == "" {
+		return fmt.Errorf("mamut: stream needs a sequence name")
+	}
+	seq, err := s.catalog.Get(cfg.Sequence)
+	if err != nil {
+		return err
+	}
+	if cfg.Approach == "" {
+		cfg.Approach = ApproachMAMUT
+	}
+	src, err := video.NewGenerator(seq, rand.New(rand.NewSource(s.rng.Int63())))
+	if err != nil {
+		return err
+	}
+	ctrl, err := s.newController(cfg.Approach, seq.Res)
+	if err != nil {
+		return err
+	}
+	bw := cfg.BandwidthMbps
+	if bw == 0 {
+		bw = core.DefaultBandwidth(seq.Res)
+	}
+	_, err = s.eng.AddSession(transcode.SessionConfig{
+		Source:        src,
+		Controller:    ctrl,
+		Initial:       experiments.InitialSettings(seq.Res),
+		BandwidthMbps: bw,
+		FrameBudget:   cfg.Frames,
+		StartAtSec:    cfg.StartAtSec,
+		CollectTrace:  cfg.CollectTrace,
+	})
+	if err != nil {
+		return err
+	}
+	s.streams++
+	return nil
+}
+
+func (s *Simulation) newController(a Approach, res Resolution) (Controller, error) {
+	rng := rand.New(rand.NewSource(s.rng.Int63()))
+	initial := experiments.InitialSettings(res)
+	switch a {
+	case ApproachHeuristic:
+		return baseline.NewHeuristic(baseline.DefaultHeuristicConfig(res, s.spec, s.model.MaxUsefulThreads(res)), initial)
+	case ApproachMonoAgent:
+		return baseline.NewMonoAgent(baseline.DefaultMonoConfig(res, s.spec, s.model.MaxUsefulThreads(res)), initial, rng)
+	case ApproachMAMUT:
+		return core.New(core.DefaultConfig(res, s.spec, s.model.MaxUsefulThreads(res)), initial, rng)
+	default:
+		return nil, fmt.Errorf("mamut: unknown approach %q", a)
+	}
+}
+
+// Streams returns the number of registered streams.
+func (s *Simulation) Streams() int { return s.streams }
+
+// Run simulates until every stream finishes its frame budget.
+func (s *Simulation) Run() (*SimulationResult, error) { return s.eng.Run() }
+
+// RunUntilAll simulates with all streams kept busy until the slowest one
+// reaches its budget (constant contention; see transcode.RunUntilAll).
+func (s *Simulation) RunUntilAll() (*SimulationResult, error) { return s.eng.RunUntilAll() }
+
+// Experiment re-exports: the full harness that regenerates the paper's
+// evaluation lives in internal/experiments; these aliases expose it.
+type (
+	// ExperimentOptions configures the reproduction experiments.
+	ExperimentOptions = experiments.Options
+	// WorkloadSpec is a mix of simultaneous streams, e.g. 2HR3LR.
+	WorkloadSpec = experiments.WorkloadSpec
+	// WorkloadResult couples a workload with per-approach results.
+	WorkloadResult = experiments.WorkloadResult
+	// ApproachResult is one approach's measured behaviour on a workload.
+	ApproachResult = experiments.ApproachResult
+	// Fig2Point is one operating point of the Fig. 2 characterisation.
+	Fig2Point = experiments.Fig2Point
+	// Fig5Result is the Fig. 5 execution trace.
+	Fig5Result = experiments.Fig5Result
+	// TableIRow is one row of the paper's Table I.
+	TableIRow = experiments.TableIRow
+	// LearningTimeResult quantifies the SV-B learning-time comparison.
+	LearningTimeResult = experiments.LearningTimeResult
+	// AblationResult is one MAMUT-variant measurement.
+	AblationResult = experiments.AblationResult
+)
+
+// Scenario kinds (paper SV-B and SV-C).
+const (
+	ScenarioI  = experiments.ScenarioI
+	ScenarioII = experiments.ScenarioII
+)
+
+// DefaultExperimentOptions returns the options used for EXPERIMENTS.md.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions returns reduced options for quick runs.
+func QuickExperimentOptions() ExperimentOptions { return experiments.QuickOptions() }
+
+// ScenarioIWorkloads returns the Fig. 4 workload list.
+func ScenarioIWorkloads() []WorkloadSpec { return experiments.ScenarioIWorkloads() }
+
+// ScenarioIIWorkloads returns the Table II workload list.
+func ScenarioIIWorkloads() []WorkloadSpec { return experiments.ScenarioIIWorkloads() }
+
+// RunScenario measures every workload under every approach.
+func RunScenario(workloads []WorkloadSpec, kind experiments.ScenarioKind, opts ExperimentOptions) ([]WorkloadResult, error) {
+	return experiments.RunScenario(workloads, kind, opts)
+}
+
+// RunWorkload measures one workload under one approach.
+func RunWorkload(w WorkloadSpec, kind experiments.ScenarioKind, a Approach, opts ExperimentOptions) (ApproachResult, error) {
+	return experiments.RunWorkload(w, kind, a, opts)
+}
+
+// Fig2Sweep regenerates the Fig. 2 characterisation points.
+func Fig2Sweep(opts ExperimentOptions) ([]Fig2Point, error) { return experiments.Fig2Sweep(opts) }
+
+// Fig5Trace regenerates the Fig. 5 execution trace.
+func Fig5Trace(opts ExperimentOptions, window int) (*Fig5Result, error) {
+	return experiments.Fig5Trace(opts, window)
+}
+
+// TableI aggregates Scenario I results into the paper's Table I.
+func TableI(results []WorkloadResult) ([]TableIRow, error) { return experiments.TableI(results) }
+
+// LearningTime runs the SV-B learning-time comparison.
+func LearningTime(opts ExperimentOptions, frames int) (*LearningTimeResult, error) {
+	return experiments.LearningTime(opts, frames)
+}
+
+// RunAblations measures the DESIGN.md S5 MAMUT variants.
+func RunAblations(w WorkloadSpec, opts ExperimentOptions) ([]AblationResult, error) {
+	return experiments.RunAblations(w, opts, nil)
+}

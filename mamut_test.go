@@ -1,0 +1,134 @@
+package mamut
+
+import "testing"
+
+func TestFacadeDefaults(t *testing.T) {
+	if DefaultPlatform().PhysicalCores() != 16 {
+		t.Error("default platform wrong")
+	}
+	if err := func() error { m := DefaultEncoderModel(); return m.Validate() }(); err != nil {
+		t.Error(err)
+	}
+	if DefaultCatalog().Len() != 9 {
+		t.Error("default catalog wrong")
+	}
+	if TargetFPS != 24 {
+		t.Error("target FPS wrong")
+	}
+}
+
+func TestNewControllerAllApproaches(t *testing.T) {
+	for _, a := range []Approach{ApproachHeuristic, ApproachMonoAgent, ApproachMAMUT} {
+		c, err := NewController(a, HR, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if c.Name() != string(a) {
+			t.Errorf("name %q != %q", c.Name(), a)
+		}
+	}
+	if _, err := NewController("bogus", HR, 1); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}
+
+func TestSimulationQuickstartFlow(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "Kimono", Approach: ApproachMAMUT, Frames: 300, CollectTrace: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "BQMall", Frames: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Streams() != 2 {
+		t.Fatalf("streams = %d", sim.Streams())
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 2 {
+		t.Fatalf("sessions = %d", len(res.Sessions))
+	}
+	if res.Sessions[0].Frames != 300 || res.Sessions[1].Frames != 300 {
+		t.Error("frame budgets not honoured")
+	}
+	if len(res.Sessions[0].Trace) != 300 {
+		t.Error("trace not collected")
+	}
+	if res.AvgPowerW <= DefaultPlatform().IdlePowerW {
+		t.Error("power not above idle")
+	}
+}
+
+func TestSimulationValidation(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddStream(StreamConfig{Frames: 10}); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "NoSuchVideo", Frames: 10}); err == nil {
+		t.Error("unknown sequence accepted")
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "Kimono", Frames: 0}); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "Kimono", Frames: 10, Approach: "bogus"}); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() float64 {
+		sim, err := NewSimulation(SimulationConfig{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.AddStream(StreamConfig{Sequence: "Cactus", Frames: 200}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.EnergyJ
+	}
+	if run() != run() {
+		t.Error("same-seed simulations diverged")
+	}
+}
+
+func TestSimulationStreamArrival(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "Kimono", Frames: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddStream(StreamConfig{Sequence: "BQMall", Frames: 50, StartAtSec: 5, CollectTrace: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions[1].Trace[0].Time < 5 {
+		t.Errorf("late stream started at %.2fs, want >= 5", res.Sessions[1].Trace[0].Time)
+	}
+}
+
+func TestScenarioWorkloadReexports(t *testing.T) {
+	if len(ScenarioIWorkloads()) != 13 || len(ScenarioIIWorkloads()) != 9 {
+		t.Error("workload lists wrong")
+	}
+	opts := QuickExperimentOptions()
+	if opts.Repetitions >= DefaultExperimentOptions().Repetitions {
+		t.Error("quick options not quicker")
+	}
+}
