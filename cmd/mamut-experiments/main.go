@@ -31,13 +31,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig4|fig5|table1|table2|learntime|ablation|all")
-		out     = flag.String("out", "", "directory for CSV/SVG artifacts (optional)")
-		quick   = flag.Bool("quick", false, "reduced repetitions and windows (faster, less converged)")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		reps    = flag.Int("reps", 0, "override repetitions (0 = default)")
-		cfgPath = flag.String("config", "", "JSON configuration file (see -dump-config)")
-		dumpCfg = flag.Bool("dump-config", false, "print the default configuration as JSON and exit")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|fig5|table1|table2|learntime|ablation|all")
+		out      = flag.String("out", "", "directory for CSV/SVG artifacts (optional)")
+		quick    = flag.Bool("quick", false, "reduced repetitions and windows (faster, less converged)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		reps     = flag.Int("reps", 0, "override repetitions (0 = default)")
+		workers  = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU, 1 = serial); results are identical for any value")
+		progress = flag.Bool("progress", false, "print per-unit progress to stderr")
+		cfgPath  = flag.String("config", "", "JSON configuration file (see -dump-config)")
+		dumpCfg  = flag.Bool("dump-config", false, "print the default configuration as JSON and exit")
 	)
 	flag.Parse()
 
@@ -64,6 +66,15 @@ func main() {
 		opts, err = f.Apply(opts)
 		if err != nil {
 			fatal(err)
+		}
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers %d must be >= 0", *workers))
+	}
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
 		}
 	}
 

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mamut/internal/experiments"
 	"mamut/internal/hevc"
 	"mamut/internal/platform"
 	"mamut/internal/transcode"
@@ -31,8 +32,12 @@ func main() {
 		frames     = flag.Int("frames", 120, "frames per operating point")
 		complexity = flag.Float64("complexity", 1.0, "base content complexity")
 		seed       = flag.Int64("seed", 1, "seed")
+		workers    = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU); row order and values are identical for any value")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers %d must be >= 0", *workers))
+	}
 
 	var res video.Resolution
 	switch strings.ToUpper(*resFlag) {
@@ -62,17 +67,52 @@ func main() {
 	model.PSNRNoiseDB = 0
 	model.BitsNoiseFrac = 0
 
-	fmt.Println("res,qp,threads,freq_ghz,fps,power_w,psnr_db,bitrate_mbps")
+	// Every operating point is an independent single-session simulation
+	// with its own engine and seed, so the grid fans out across the worker
+	// pool; results come back indexed by grid position, keeping the CSV
+	// row order identical to the serial nested loops.
+	type point struct {
+		qp, th int
+		freq   float64
+	}
+	var grid []point
 	for _, qp := range qps {
 		for _, th := range threads {
 			for _, f := range freqs {
-				row, err := measure(res, qp, th, f, *frames, *complexity, *seed, spec, model)
-				if err != nil {
-					fatal(err)
-				}
-				fmt.Println(row)
+				grid = append(grid, point{qp, th, f})
 			}
 		}
+	}
+	rows := make([]string, len(grid))
+	units := make([]experiments.Unit[string], len(grid))
+	for i, p := range grid {
+		i, p := i, p
+		units[i] = experiments.Unit[string]{
+			Label: fmt.Sprintf("%s qp=%d threads=%d freq=%.1f", res, p.qp, p.th, p.freq),
+			Run: func() (string, error) {
+				row, err := measure(res, p.qp, p.th, p.freq, *frames, *complexity, *seed, spec, model)
+				if err == nil {
+					rows[i] = row
+				}
+				return row, err
+			},
+		}
+	}
+	// Stream the contiguous completed prefix after every finished unit:
+	// the progress callback is serialized by the pool and a completed
+	// unit's row write happens-before its progress call, so rows appear
+	// incrementally, in grid order, and a late failure still leaves every
+	// row before it on stdout.
+	fmt.Println("res,qp,threads,freq_ghz,fps,power_w,psnr_db,bitrate_mbps")
+	printed := 0
+	flush := func(done, total int, label string) {
+		for printed < len(rows) && rows[printed] != "" {
+			fmt.Println(rows[printed])
+			printed++
+		}
+	}
+	if _, err := experiments.RunUnits(*workers, units, flush); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,3 @@
+module mamut
+
+go 1.24

@@ -41,7 +41,10 @@ func DefaultAblations() []AblationVariant {
 }
 
 // RunAblations measures every variant on the given workload (the paper's
-// moderately loaded 2HR1LR mix by default when w is zero-valued).
+// moderately loaded 2HR1LR mix by default when w is zero-valued). All
+// (variant x repetition) units run concurrently on the Options.Workers
+// pool; aggregation stays in variant/repetition order, so the numbers
+// match a serial sweep exactly.
 func RunAblations(w WorkloadSpec, opts Options, variants []AblationVariant) ([]AblationResult, error) {
 	if w.Sessions() == 0 {
 		w = WorkloadSpec{Name: "2HR1LR", HR: 2, LR: 1}
@@ -49,7 +52,10 @@ func RunAblations(w WorkloadSpec, opts Options, variants []AblationVariant) ([]A
 	if len(variants) == 0 {
 		variants = DefaultAblations()
 	}
-	out := make([]AblationResult, 0, len(variants))
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	var units []Unit[repOutcome]
 	for _, v := range variants {
 		v := v
 		factory := func(res video.Resolution, initial transcode.Settings, rng *rand.Rand) (transcode.Controller, error) {
@@ -57,10 +63,15 @@ func RunAblations(w WorkloadSpec, opts Options, variants []AblationVariant) ([]A
 			v.Mutate(&cfg)
 			return core.New(cfg, initial, rng)
 		}
-		r, err := RunWorkloadWithFactory(w, ScenarioI, "ablation|"+v.Name, factory, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation %s: %w", v.Name, err)
-		}
+		units = append(units, repUnits(w, ScenarioI, "ablation|"+v.Name, factory, opts)...)
+	}
+	outs, err := RunUnits(opts.Workers, units, opts.Progress)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation: %w", err)
+	}
+	out := make([]AblationResult, 0, len(variants))
+	for i, v := range variants {
+		r := aggregateReps(outs[i*opts.Repetitions : (i+1)*opts.Repetitions])
 		out = append(out, AblationResult{
 			Name:     v.Name,
 			DeltaPct: r.DeltaPct,

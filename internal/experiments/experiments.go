@@ -58,6 +58,13 @@ type Options struct {
 	WarmupFrames int
 	// MeasureFrames is the size of the measured window per session.
 	MeasureFrames int
+	// Workers sizes the worker pool that runs independent (workload,
+	// approach, repetition) units concurrently: 0 means one worker per
+	// logical CPU, 1 forces the serial path. Results are bit-identical
+	// for any worker count.
+	Workers int
+	// Progress, when set, observes every completed unit (see ProgressFunc).
+	Progress ProgressFunc
 }
 
 // DefaultOptions returns the configuration used for the published
@@ -101,6 +108,9 @@ func (o Options) Validate() error {
 	}
 	if o.WarmupFrames < 0 || o.MeasureFrames < 1 {
 		return fmt.Errorf("experiments: window %d+%d invalid", o.WarmupFrames, o.MeasureFrames)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: workers %d < 0", o.Workers)
 	}
 	return nil
 }
@@ -268,17 +278,134 @@ func RunWorkload(w WorkloadSpec, kind ScenarioKind, a Approach, opts Options) (A
 	return res, nil
 }
 
-// RunWorkloadWithFactory measures one workload under a custom controller
-// factory (used by the ablations). The label keys the deterministic
-// sub-seeding.
-func RunWorkloadWithFactory(w WorkloadSpec, kind ScenarioKind, label string, factory ControllerFactory, opts Options) (ApproachResult, error) {
-	if err := opts.Validate(); err != nil {
-		return ApproachResult{}, err
+// repOutcome is one repetition's contribution to an ApproachResult: the
+// time-weighted package power plus the per-session summaries (overall and
+// split by resolution class) and stall percentages, in session order.
+type repOutcome struct {
+	watts  float64
+	sums   []metrics.SessionSummary
+	hrSums []metrics.SessionSummary
+	lrSums []metrics.SessionSummary
+	stalls []float64
+}
+
+// runRep executes one fully independent repetition of one workload under
+// one controller factory. It owns every piece of mutable state it touches
+// (engine, rngs, controllers), deriving determinism solely from
+// subSeed(opts.Seed, w.Name+"|"+label, rep), so concurrent calls with
+// distinct (workload, label, rep) tuples are race-free and order-free.
+// opts must already be validated.
+func runRep(w WorkloadSpec, kind ScenarioKind, label string, factory ControllerFactory, opts Options, rep int) (repOutcome, error) {
+	seed := subSeed(opts.Seed, w.Name+"|"+label, rep)
+	rng := rand.New(rand.NewSource(seed))
+	eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
+	if err != nil {
+		return repOutcome{}, err
 	}
-	if w.Sessions() < 1 {
-		return ApproachResult{}, fmt.Errorf("experiments: workload %q has no sessions", w.Name)
+	resByID := make([]video.Resolution, 0, w.Sessions())
+	budget := opts.WarmupFrames + opts.MeasureFrames
+	add := func(res video.Resolution, idx int) error {
+		src, err := buildSource(kind, res, idx, opts, rng)
+		if err != nil {
+			return err
+		}
+		initial := InitialSettings(res)
+		ctrl, err := factory(res, initial, rand.New(rand.NewSource(rng.Int63())))
+		if err != nil {
+			return err
+		}
+		_, err = eng.AddSession(transcode.SessionConfig{
+			Source:        src,
+			Controller:    ctrl,
+			Initial:       initial,
+			BandwidthMbps: core.DefaultBandwidth(res),
+			FrameBudget:   budget,
+			CollectTrace:  true,
+		})
+		if err != nil {
+			return err
+		}
+		resByID = append(resByID, res)
+		return nil
+	}
+	for i := 0; i < w.HR; i++ {
+		if err := add(video.HR, i); err != nil {
+			return repOutcome{}, err
+		}
+	}
+	for i := 0; i < w.LR; i++ {
+		if err := add(video.LR, i); err != nil {
+			return repOutcome{}, err
+		}
 	}
 
+	// RunUntilAll keeps every stream transcoding until the slowest one
+	// passes its budget, so the measured window below always sees the
+	// full workload's contention and power.
+	runRes, err := eng.RunUntilAll()
+	if err != nil {
+		return repOutcome{}, err
+	}
+
+	// Per-session measured windows, and the overlapping time interval
+	// during which every session was inside its window.
+	var out repOutcome
+	var windows [][]transcode.Observation
+	winStart, winEnd := 0.0, runRes.DurationSec
+	for _, sr := range runRes.Sessions {
+		win := metrics.Window(sr.Trace, opts.WarmupFrames, budget)
+		if len(win) == 0 {
+			return repOutcome{}, fmt.Errorf("empty measured window for session %d", sr.ID)
+		}
+		windows = append(windows, win)
+		if t := win[0].Time; t > winStart {
+			winStart = t
+		}
+		if t := win[len(win)-1].Time; t < winEnd {
+			winEnd = t
+		}
+		s := metrics.Summarize(win, transcode.DefaultTargetFPS)
+		out.sums = append(out.sums, s)
+		if q, err := metrics.BufferedViolations(win, transcode.DefaultTargetFPS, bufferPreroll); err == nil {
+			out.stalls = append(out.stalls, q.StallPct)
+		}
+		if resByID[sr.ID] == video.HR {
+			out.hrSums = append(out.hrSums, s)
+		} else {
+			out.lrSums = append(out.lrSums, s)
+		}
+	}
+	watts, err := metrics.TimeWeightedPower(windows, winStart, winEnd)
+	if err != nil {
+		// Degenerate overlap (sessions progressing at very different
+		// speeds): fall back to the run average.
+		watts = runRes.AvgPowerW
+	}
+	out.watts = watts
+	return out, nil
+}
+
+// repUnits builds the scheduler units for every repetition of one
+// (workload, factory) pair, in repetition order.
+func repUnits(w WorkloadSpec, kind ScenarioKind, label string, factory ControllerFactory, opts Options) []Unit[repOutcome] {
+	units := make([]Unit[repOutcome], opts.Repetitions)
+	for rep := range units {
+		rep := rep
+		units[rep] = Unit[repOutcome]{
+			Label: fmt.Sprintf("%s/%s rep %d", w.Name, label, rep),
+			Run: func() (repOutcome, error) {
+				return runRep(w, kind, label, factory, opts, rep)
+			},
+		}
+	}
+	return units
+}
+
+// aggregateReps folds repetition outcomes into an ApproachResult. Outcomes
+// must be in repetition order: the fold concatenates the per-session
+// summaries exactly as the historical serial loop did, so every mean and
+// std-dev is bit-identical regardless of how many workers produced them.
+func aggregateReps(outs []repOutcome) ApproachResult {
 	var (
 		wattsReps []float64
 		sums      []metrics.SessionSummary
@@ -286,97 +413,15 @@ func RunWorkloadWithFactory(w WorkloadSpec, kind ScenarioKind, label string, fac
 		lrSums    []metrics.SessionSummary
 		stalls    []float64
 	)
-
-	for rep := 0; rep < opts.Repetitions; rep++ {
-		seed := subSeed(opts.Seed, w.Name+"|"+label, rep)
-		rng := rand.New(rand.NewSource(seed))
-		eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
-		if err != nil {
-			return ApproachResult{}, err
-		}
-		resByID := make([]video.Resolution, 0, w.Sessions())
-		budget := opts.WarmupFrames + opts.MeasureFrames
-		add := func(res video.Resolution, idx int) error {
-			src, err := buildSource(kind, res, idx, opts, rng)
-			if err != nil {
-				return err
-			}
-			initial := InitialSettings(res)
-			ctrl, err := factory(res, initial, rand.New(rand.NewSource(rng.Int63())))
-			if err != nil {
-				return err
-			}
-			_, err = eng.AddSession(transcode.SessionConfig{
-				Source:        src,
-				Controller:    ctrl,
-				Initial:       initial,
-				BandwidthMbps: core.DefaultBandwidth(res),
-				FrameBudget:   budget,
-				CollectTrace:  true,
-			})
-			if err != nil {
-				return err
-			}
-			resByID = append(resByID, res)
-			return nil
-		}
-		for i := 0; i < w.HR; i++ {
-			if err := add(video.HR, i); err != nil {
-				return ApproachResult{}, err
-			}
-		}
-		for i := 0; i < w.LR; i++ {
-			if err := add(video.LR, i); err != nil {
-				return ApproachResult{}, err
-			}
-		}
-
-		// RunUntilAll keeps every stream transcoding until the slowest one
-		// passes its budget, so the measured window below always sees the
-		// full workload's contention and power.
-		runRes, err := eng.RunUntilAll()
-		if err != nil {
-			return ApproachResult{}, fmt.Errorf("experiments: %s/%s rep %d: %w", w.Name, label, rep, err)
-		}
-
-		// Per-session measured windows, and the overlapping time interval
-		// during which every session was inside its window.
-		var windows [][]transcode.Observation
-		winStart, winEnd := 0.0, runRes.DurationSec
-		for _, sr := range runRes.Sessions {
-			win := metrics.Window(sr.Trace, opts.WarmupFrames, budget)
-			if len(win) == 0 {
-				return ApproachResult{}, fmt.Errorf("experiments: empty measured window for session %d", sr.ID)
-			}
-			windows = append(windows, win)
-			if t := win[0].Time; t > winStart {
-				winStart = t
-			}
-			if t := win[len(win)-1].Time; t < winEnd {
-				winEnd = t
-			}
-			s := metrics.Summarize(win, transcode.DefaultTargetFPS)
-			sums = append(sums, s)
-			if q, err := metrics.BufferedViolations(win, transcode.DefaultTargetFPS, bufferPreroll); err == nil {
-				stalls = append(stalls, q.StallPct)
-			}
-			if resByID[sr.ID] == video.HR {
-				hrSums = append(hrSums, s)
-			} else {
-				lrSums = append(lrSums, s)
-			}
-		}
-		watts, err := metrics.TimeWeightedPower(windows, winStart, winEnd)
-		if err != nil {
-			// Degenerate overlap (sessions progressing at very different
-			// speeds): fall back to the run average.
-			watts = runRes.AvgPowerW
-		}
-		wattsReps = append(wattsReps, watts)
+	for _, o := range outs {
+		wattsReps = append(wattsReps, o.watts)
+		sums = append(sums, o.sums...)
+		hrSums = append(hrSums, o.hrSums...)
+		lrSums = append(lrSums, o.lrSums...)
+		stalls = append(stalls, o.stalls...)
 	}
-
 	mean := metrics.MeanSummary(sums)
-	out := ApproachResult{
+	return ApproachResult{
 		StallPct:    metrics.Mean(stalls),
 		Watts:       metrics.Mean(wattsReps),
 		WattsStd:    metrics.StdDev(wattsReps),
@@ -390,7 +435,23 @@ func RunWorkloadWithFactory(w WorkloadSpec, kind ScenarioKind, label string, fac
 		HR:          aggRes(hrSums),
 		LR:          aggRes(lrSums),
 	}
-	return out, nil
+}
+
+// RunWorkloadWithFactory measures one workload under a custom controller
+// factory (used by the ablations). The label keys the deterministic
+// sub-seeding. Repetitions run concurrently on the Options.Workers pool.
+func RunWorkloadWithFactory(w WorkloadSpec, kind ScenarioKind, label string, factory ControllerFactory, opts Options) (ApproachResult, error) {
+	if err := opts.Validate(); err != nil {
+		return ApproachResult{}, err
+	}
+	if w.Sessions() < 1 {
+		return ApproachResult{}, fmt.Errorf("experiments: workload %q has no sessions", w.Name)
+	}
+	outs, err := RunUnits(opts.Workers, repUnits(w, kind, label, factory, opts), opts.Progress)
+	if err != nil {
+		return ApproachResult{}, err
+	}
+	return aggregateReps(outs), nil
 }
 
 func aggRes(sums []metrics.SessionSummary) ResolutionAgg {
@@ -426,19 +487,48 @@ func buildSource(kind ScenarioKind, res video.Resolution, idx int, opts Options,
 	}
 }
 
-// RunScenario measures every workload under every approach.
+// RunScenario measures every workload under every approach. The full
+// (workload x approach x repetition) grid fans out over one shared worker
+// pool, so wide scenarios saturate every core instead of draining one
+// workload at a time; aggregation consumes outcomes in (workload,
+// approach, repetition) order, making the results bit-identical to
+// running each workload serially.
 func RunScenario(workloads []WorkloadSpec, kind ScenarioKind, opts Options) ([]WorkloadResult, error) {
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("experiments: no workloads")
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	factories := make(map[Approach]ControllerFactory, len(AllApproaches))
+	for _, a := range AllApproaches {
+		f, err := Factory(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		factories[a] = f
+	}
+	var units []Unit[repOutcome]
+	for _, w := range workloads {
+		if w.Sessions() < 1 {
+			return nil, fmt.Errorf("experiments: workload %q has no sessions", w.Name)
+		}
+		for _, a := range AllApproaches {
+			units = append(units, repUnits(w, kind, string(a), factories[a], opts)...)
+		}
+	}
+	outs, err := RunUnits(opts.Workers, units, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]WorkloadResult, 0, len(workloads))
+	next := 0
 	for _, w := range workloads {
 		wr := WorkloadResult{Spec: w}
 		for _, a := range AllApproaches {
-			r, err := RunWorkload(w, kind, a, opts)
-			if err != nil {
-				return nil, err
-			}
+			r := aggregateReps(outs[next : next+opts.Repetitions])
+			next += opts.Repetitions
+			r.Approach = a
 			wr.ByApproach = append(wr.ByApproach, r)
 		}
 		out = append(out, wr)

@@ -91,31 +91,35 @@ func LearningTime(opts Options, frames int) (*LearningTimeResult, error) {
 		return ctrl, nil
 	}
 
+	// The three managers are measured on independent, separately seeded
+	// single-stream engines, so they run concurrently on the worker pool.
 	maxTh := opts.Model.MaxUsefulThreads(video.HR)
-	mamutCtrl, err := run("mamut", func(rng *rand.Rand) (transcode.Controller, error) {
-		return core.New(core.DefaultConfig(video.HR, opts.Spec, maxTh), InitialSettings(video.HR), rng)
-	})
-	if err != nil {
-		return nil, err
-	}
 	monoCfg := baseline.DefaultMonoConfig(video.HR, opts.Spec, maxTh)
-	monoCtrl, err := run("mono", func(rng *rand.Rand) (transcode.Controller, error) {
-		return baseline.NewMonoAgent(monoCfg, InitialSettings(video.HR), rng)
-	})
-	if err != nil {
-		return nil, err
-	}
 	wideCfg := WideMonoConfig(opts)
-	wideCtrl, err := run("mono-wide", func(rng *rand.Rand) (transcode.Controller, error) {
-		return baseline.NewMonoAgent(wideCfg, InitialSettings(video.HR), rng)
-	})
+	ctrls, err := RunUnits(opts.Workers, []Unit[transcode.Controller]{
+		{Label: "learntime/mamut", Run: func() (transcode.Controller, error) {
+			return run("mamut", func(rng *rand.Rand) (transcode.Controller, error) {
+				return core.New(core.DefaultConfig(video.HR, opts.Spec, maxTh), InitialSettings(video.HR), rng)
+			})
+		}},
+		{Label: "learntime/mono", Run: func() (transcode.Controller, error) {
+			return run("mono", func(rng *rand.Rand) (transcode.Controller, error) {
+				return baseline.NewMonoAgent(monoCfg, InitialSettings(video.HR), rng)
+			})
+		}},
+		{Label: "learntime/mono-wide", Run: func() (transcode.Controller, error) {
+			return run("mono-wide", func(rng *rand.Rand) (transcode.Controller, error) {
+				return baseline.NewMonoAgent(wideCfg, InitialSettings(video.HR), rng)
+			})
+		}},
+	}, opts.Progress)
 	if err != nil {
 		return nil, err
 	}
 
-	mStats := mamutCtrl.(*core.Controller).Stats()
-	moStats := monoCtrl.(*baseline.MonoAgent).Stats()
-	wideStats := wideCtrl.(*baseline.MonoAgent).Stats()
+	mStats := ctrls[0].(*core.Controller).Stats()
+	moStats := ctrls[1].(*baseline.MonoAgent).Stats()
+	wideStats := ctrls[2].(*baseline.MonoAgent).Stats()
 	out := &LearningTimeResult{
 		MAMUTFirstExploit:    mStats.FirstExploitFrame,
 		MAMUTAllExploit:      mStats.FirstAllExploitFrame,

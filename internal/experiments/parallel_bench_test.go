@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchScenarioI measures the Table I / Fig. 4 reproduction pipeline on a
+// moderately loaded Scenario I workload: 3 approaches x 4 repetitions =
+// 12 independent units per iteration, enough to keep a multi-core pool
+// busy. Compare:
+//
+//	go test ./internal/experiments/ -bench BenchmarkScenarioI -benchtime 3x
+func benchScenarioI(b *testing.B, workers int) {
+	opts := DefaultOptions()
+	opts.Repetitions = 4
+	opts.WarmupFrames = 1200
+	opts.MeasureFrames = 1200
+	opts.Workers = workers
+	workloads := []WorkloadSpec{{Name: "2HR2LR", HR: 2, LR: 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenario(workloads, ScenarioI, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioIWorkers1(b *testing.B) { benchScenarioI(b, 1) }
+
+func BenchmarkScenarioIWorkersNumCPU(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("single-CPU machine: parallel benchmark is meaningless")
+	}
+	benchScenarioI(b, 0)
+}

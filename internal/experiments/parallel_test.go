@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// equivOptions is small enough for unit tests but has multiple
+// repetitions, so rep-order-sensitive aggregation bugs would show.
+func equivOptions(workers int) Options {
+	o := DefaultOptions()
+	o.Repetitions = 3
+	o.WarmupFrames = 600
+	o.MeasureFrames = 600
+	o.Workers = workers
+	return o
+}
+
+// TestRunWorkloadSerialParallelEquivalence is the acceptance gate for the
+// concurrent runner: with the same seed, Workers=1 and Workers=8 must
+// produce bit-identical ApproachResults, field for field.
+func TestRunWorkloadSerialParallelEquivalence(t *testing.T) {
+	w := WorkloadSpec{Name: "1HR1LR", HR: 1, LR: 1}
+	for _, a := range AllApproaches {
+		serial, err := RunWorkload(w, ScenarioI, a, equivOptions(1))
+		if err != nil {
+			t.Fatalf("%s serial: %v", a, err)
+		}
+		parallel, err := RunWorkload(w, ScenarioI, a, equivOptions(8))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", a, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: serial and parallel results differ:\n serial:   %+v\n parallel: %+v", a, serial, parallel)
+		}
+	}
+}
+
+// TestRunScenarioMatchesPerWorkloadRuns checks that the scenario-wide
+// fan-out aggregates exactly like independent serial RunWorkload calls.
+func TestRunScenarioMatchesPerWorkloadRuns(t *testing.T) {
+	workloads := []WorkloadSpec{{Name: "1HR", HR: 1}, {Name: "2LR", LR: 2}}
+	results, err := RunScenario(workloads, ScenarioI, equivOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range workloads {
+		for _, a := range AllApproaches {
+			want, err := RunWorkload(w, ScenarioI, a, equivOptions(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := results[i].Get(a)
+			if !ok {
+				t.Fatalf("workload %s missing %s", w.Name, a)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: scenario and workload results differ:\n scenario: %+v\n workload: %+v", w.Name, a, got, want)
+			}
+		}
+	}
+}
+
+func TestRunAblationsSerialParallelEquivalence(t *testing.T) {
+	w := WorkloadSpec{Name: "1HR", HR: 1}
+	serial, err := RunAblations(w, equivOptions(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAblations(w, equivOptions(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("ablation results differ:\n serial:   %+v\n parallel: %+v", serial, parallel)
+	}
+}
+
+func TestLearningTimeSerialParallelEquivalence(t *testing.T) {
+	serial, err := LearningTime(equivOptions(1), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LearningTime(equivOptions(3), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("learning-time results differ:\n serial:   %+v\n parallel: %+v", serial, parallel)
+	}
+}
+
+func TestOptionsRejectNegativeWorkers(t *testing.T) {
+	o := DefaultOptions()
+	o.Workers = -1
+	if err := o.Validate(); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}
+
+// TestProgressCoversScenarioGrid checks the progress callback sees every
+// (workload, approach, repetition) unit exactly once.
+func TestProgressCoversScenarioGrid(t *testing.T) {
+	opts := equivOptions(4)
+	opts.Repetitions = 2
+	var calls int
+	var lastTotal int
+	opts.Progress = func(done, total int, label string) {
+		calls++
+		lastTotal = total
+	}
+	workloads := []WorkloadSpec{{Name: "1HR", HR: 1}}
+	if _, err := RunScenario(workloads, ScenarioI, opts); err != nil {
+		t.Fatal(err)
+	}
+	want := len(workloads) * len(AllApproaches) * opts.Repetitions
+	if calls != want || lastTotal != want {
+		t.Errorf("progress calls = %d (total %d), want %d", calls, lastTotal, want)
+	}
+}

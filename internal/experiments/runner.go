@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the experiment scheduler: a deterministic worker pool that
+// fans independent work units out across goroutines. Every (workload,
+// approach, repetition) cell of the paper's evaluation is independently
+// seeded via subSeed and shares no mutable state, so the grid can run
+// concurrently — the only requirement for bit-identical results is that
+// aggregation consumes outcomes in the same order as the serial loops,
+// which RunUnits guarantees by addressing results by unit index.
+
+// Unit is one schedulable work item producing a value of type T.
+type Unit[T any] struct {
+	// Label identifies the unit in progress reports and errors.
+	Label string
+	// Run performs the work. It must be safe to call concurrently with
+	// other units' Run functions.
+	Run func() (T, error)
+}
+
+// ProgressFunc observes scheduler progress. done counts completed units
+// out of total; label names the unit that just finished. Calls are
+// serialized by the scheduler, so implementations need no locking, but
+// they must be fast: the pool holds its bookkeeping lock while reporting.
+type ProgressFunc func(done, total int, label string)
+
+// ResolveWorkers maps the Options.Workers convention onto a concrete pool
+// size: positive values are taken as-is, zero (the default) means one
+// worker per schedulable CPU. GOMAXPROCS rather than NumCPU, so
+// CPU-quota'd containers and explicit GOMAXPROCS settings are honoured
+// instead of oversubscribed.
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunUnits executes every unit across a pool of workers goroutines
+// (ResolveWorkers applies) and returns the results in unit order,
+// regardless of completion order. The first error cancels the remaining
+// units via context and is returned wrapped with the failing unit's
+// label. progress may be nil.
+func RunUnits[T any](workers int, units []Unit[T], progress ProgressFunc) ([]T, error) {
+	out := make([]T, len(units))
+	n := len(units)
+	if n == 0 {
+		return out, nil
+	}
+	workers = ResolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: same semantics, no goroutine overhead.
+		for i, u := range units {
+			v, err := u.Run()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", u.Label, err)
+			}
+			out[i] = v
+			if progress != nil {
+				progress(i+1, n, u.Label)
+			}
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+	)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				v, err := units[i].Run()
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiments: %s: %w", units[i].Label, err)
+						cancel()
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = v
+				done++
+				if progress != nil {
+					progress(done, n, units[i].Label)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func squareUnits(n int) []Unit[int] {
+	units := make([]Unit[int], n)
+	for i := range units {
+		i := i
+		units[i] = Unit[int]{
+			Label: fmt.Sprintf("unit %d", i),
+			Run:   func() (int, error) { return i * i, nil },
+		}
+	}
+	return units
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(3); got != 3 {
+		t.Errorf("ResolveWorkers(3) = %d", got)
+	}
+	if got := ResolveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("ResolveWorkers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestRunUnitsResultsIndexedByUnit(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := RunUnits(workers, squareUnits(33), nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 33 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunUnitsEmpty(t *testing.T) {
+	out, err := RunUnits[int](4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("results = %d", len(out))
+	}
+}
+
+func TestRunUnitsErrorCarriesLabel(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	for _, workers := range []int{1, 4} {
+		units := squareUnits(10)
+		units[5].Run = func() (int, error) { return 0, boom }
+		_, err := RunUnits(workers, units, nil)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !strings.Contains(err.Error(), "unit 5") {
+			t.Errorf("workers=%d: error %q does not name the failing unit", workers, err)
+		}
+	}
+}
+
+func TestRunUnitsErrorCancelsRemaining(t *testing.T) {
+	// Unit 0 fails immediately; cancellation must prevent the pool from
+	// churning through the whole queue.
+	const n = 200
+	var ran atomic.Int64
+	units := make([]Unit[int], n)
+	for i := range units {
+		i := i
+		units[i] = Unit[int]{Label: fmt.Sprintf("unit %d", i), Run: func() (int, error) {
+			if i == 0 {
+				return 0, fmt.Errorf("early failure")
+			}
+			ran.Add(1)
+			return i, nil
+		}}
+	}
+	if _, err := RunUnits(2, units, nil); err == nil {
+		t.Fatal("no error")
+	}
+	if got := ran.Load(); got >= n-1 {
+		t.Errorf("all %d remaining units ran despite cancellation", got)
+	}
+}
+
+func TestRunUnitsSerialStopsAtError(t *testing.T) {
+	var ran int
+	units := make([]Unit[int], 10)
+	for i := range units {
+		i := i
+		units[i] = Unit[int]{Label: fmt.Sprintf("unit %d", i), Run: func() (int, error) {
+			if i == 3 {
+				return 0, fmt.Errorf("stop here")
+			}
+			ran++
+			return i, nil
+		}}
+	}
+	if _, err := RunUnits(1, units, nil); err == nil {
+		t.Fatal("no error")
+	}
+	if ran != 3 {
+		t.Errorf("serial path ran %d units past the error, want 3 before it", ran)
+	}
+}
+
+func TestRunUnitsProgressSerializedAndComplete(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var dones []int
+		labels := map[string]bool{}
+		progress := func(done, total int, label string) {
+			if total != 25 {
+				t.Errorf("workers=%d: total = %d", workers, total)
+			}
+			dones = append(dones, done)
+			labels[label] = true
+		}
+		if _, err := RunUnits(workers, squareUnits(25), progress); err != nil {
+			t.Fatal(err)
+		}
+		if len(dones) != 25 {
+			t.Fatalf("workers=%d: %d progress calls", workers, len(dones))
+		}
+		// The scheduler serializes progress and increments done by one per
+		// completion, whatever the completion order.
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress done sequence %v", workers, dones)
+			}
+		}
+		if len(labels) != 25 {
+			t.Errorf("workers=%d: %d distinct labels", workers, len(labels))
+		}
+	}
+}

@@ -264,11 +264,14 @@ func (e *Engine) run(untilAll bool) (*Result, error) {
 		}
 
 		// Thermal throttling scales service and dynamic power together
-		// while the package sits above the throttle point.
+		// while the package sits above the throttle point. The per-session
+		// dynamic-power shares must scale by the same factor, or the
+		// session energy accounting stops reconciling with package power.
 		if e.thermal != nil && e.thermal.Throttled() {
 			f := e.thermal.ThrottleFactor()
 			for i := range snap.Rates {
 				snap.Rates[i] *= f
+				snap.DynPowerW[i] *= f
 			}
 			idle := e.server.Spec().IdlePowerW
 			snap.PowerIdealW = idle + (snap.PowerIdealW-idle)*f

@@ -1,6 +1,7 @@
 package transcode
 
 import (
+	"math"
 	"testing"
 
 	"mamut/internal/platform"
@@ -81,6 +82,51 @@ func TestEngineThermalThrottlingSlowsHotWorkload(t *testing.T) {
 	// package cannot keep heating at full power once throttled.
 	if throttled.TempMaxC > hot.Thermal.ThrottleC+10 {
 		t.Errorf("max temp %.1fC far above throttle point %.1fC", throttled.TempMaxC, hot.Thermal.ThrottleC)
+	}
+}
+
+func TestEngineThrottledSessionEnergyReconciles(t *testing.T) {
+	// The package energy integrates PowerIdealW = idle + sum(DynPowerW),
+	// so the per-session dynamic energies must always sum to the package
+	// energy minus the idle floor — including while the thermal model is
+	// throttling, which scales both sides by the same factor.
+	spec := thermalSpec()
+	spec.Thermal.ThrottleC = 60 // engage throttling quickly
+	eng, err := NewEngine(spec, quietModel(), 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Settings{QP: 22, Threads: 12, FreqGHz: 3.2}
+	for i := 0; i < 6; i++ {
+		if _, err := eng.AddSession(SessionConfig{
+			Source: testSource(t, video.HR, int64(48+i)), Controller: &Static{S: set},
+			Initial: set, FrameBudget: 1500,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TempMaxC < spec.Thermal.ThrottleC {
+		t.Fatalf("workload never throttled (max %.1fC < %.1fC); test is vacuous",
+			res.TempMaxC, spec.Thermal.ThrottleC)
+	}
+	var sessionDyn float64
+	for _, sr := range res.Sessions {
+		if sr.DynEnergyJ <= 0 {
+			t.Errorf("session %d has non-positive dynamic energy %.1f J", sr.ID, sr.DynEnergyJ)
+		}
+		sessionDyn += sr.DynEnergyJ
+	}
+	packageDyn := res.EnergyJ - spec.IdlePowerW*res.DurationSec
+	if packageDyn <= 0 {
+		t.Fatalf("package dynamic energy %.1f J not positive", packageDyn)
+	}
+	if rel := math.Abs(sessionDyn-packageDyn) / packageDyn; rel > 1e-6 {
+		t.Errorf("session dynamic energies %.1f J do not reconcile with package dynamic energy %.1f J (rel err %.2e)",
+			sessionDyn, packageDyn, rel)
 	}
 }
 
