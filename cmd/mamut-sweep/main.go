@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"mamut/internal/experiments"
 	"mamut/internal/hevc"
@@ -83,7 +84,13 @@ func main() {
 			}
 		}
 	}
+	// rows/rowDone form a side channel between the Run closures (worker
+	// goroutines) and the flush callback below, so every access is guarded
+	// by rowsMu; rowDone marks completion explicitly rather than treating
+	// an empty row string as "not finished".
+	var rowsMu sync.Mutex
 	rows := make([]string, len(grid))
+	rowDone := make([]bool, len(grid))
 	units := make([]experiments.Unit[string], len(grid))
 	for i, p := range grid {
 		i, p := i, p
@@ -92,21 +99,25 @@ func main() {
 			Run: func() (string, error) {
 				row, err := measure(res, p.qp, p.th, p.freq, *frames, *complexity, *seed, spec, model)
 				if err == nil {
+					rowsMu.Lock()
 					rows[i] = row
+					rowDone[i] = true
+					rowsMu.Unlock()
 				}
 				return row, err
 			},
 		}
 	}
-	// Stream the contiguous completed prefix after every finished unit:
-	// the progress callback is serialized by the pool and a completed
-	// unit's row write happens-before its progress call, so rows appear
-	// incrementally, in grid order, and a late failure still leaves every
-	// row before it on stdout.
+	// Stream the contiguous completed prefix after every finished unit, so
+	// rows appear incrementally, in grid order, and a late failure still
+	// leaves every row before it on stdout. The final unit's progress call
+	// sees every rowDone flag set, so the whole grid is always drained.
 	fmt.Println("res,qp,threads,freq_ghz,fps,power_w,psnr_db,bitrate_mbps")
 	printed := 0
 	flush := func(done, total int, label string) {
-		for printed < len(rows) && rows[printed] != "" {
+		rowsMu.Lock()
+		defer rowsMu.Unlock()
+		for printed < len(rows) && rowDone[printed] {
 			fmt.Println(rows[printed])
 			printed++
 		}
