@@ -12,6 +12,7 @@ package mamut
 // to the timing.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -234,6 +235,50 @@ func BenchmarkEngineFrameThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*10000/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkEngineManySessions tracks the per-frame scheduling cost as the
+// number of simultaneous sessions on one engine grows: every event
+// re-evaluates the platform over all active sessions, so cost per frame
+// is expected to rise with the session count. The serving subsystem
+// (internal/serve) leans on exactly this scaling when a fleet server
+// hosts a deep session backlog.
+func BenchmarkEngineManySessions(b *testing.B) {
+	for _, sessions := range []int{20, 50, 100} {
+		sessions := sessions
+		b.Run(fmt.Sprintf("%dsessions", sessions), func(b *testing.B) {
+			spec := platform.DefaultSpec()
+			model := hevc.DefaultModel()
+			const framesPer = 200
+			set := transcode.Settings{QP: 35, Threads: 2, FreqGHz: 2.3}
+			for i := 0; i < b.N; i++ {
+				eng, err := transcode.NewEngine(spec, model, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for s := 0; s < sessions; s++ {
+					seq := &video.Sequence{Name: "bench", Res: video.LR, Frames: 1 << 30, FrameRate: 24,
+						BaseComplexity: 1, Dynamism: 0.4, MeanSceneLen: 90}
+					src, err := video.NewGenerator(seq, rand.New(rand.NewSource(int64(s))))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.AddSession(transcode.SessionConfig{
+						Source: src, Controller: &transcode.Static{S: set},
+						Initial: set, FrameBudget: framesPer,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := float64(b.N) * float64(sessions*framesPer)
+			b.ReportMetric(total/b.Elapsed().Seconds(), "frames/s")
+			b.ReportMetric(b.Elapsed().Seconds()/total*1e9, "ns/frame")
+		})
+	}
 }
 
 // BenchmarkMAMUTDecision measures one controller decision (action

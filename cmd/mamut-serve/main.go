@@ -1,0 +1,187 @@
+// Command mamut-serve simulates the transcoding service under continuous
+// load: sessions arrive stochastically (Poisson, diurnal or ramping),
+// are dispatched across a multi-server fleet by a placement policy, and
+// steady-state service metrics (SLO attainment, rejection rate, fleet
+// power, per-server utilization) are reported over a measurement window
+// after warm-up. Output is byte-identical for a fixed seed, regardless of
+// -workers.
+//
+// Usage:
+//
+//	mamut-serve -servers 4 -arrival-rate 0.5 -policy power -duration 600
+//	mamut-serve -servers 2 -arrival-rate 0.3 -curve diurnal -format csv
+//	mamut-serve -servers 2 -policies round-robin,least-loaded,power \
+//	    -rates 0.2,0.4,0.8 -seeds 1,2,3        # (policy x rate x seed) grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mamut"
+	"mamut/internal/cliutil"
+)
+
+func main() {
+	var (
+		servers   = flag.Int("servers", 2, "fleet size (number of simulated servers)")
+		rate      = flag.Float64("arrival-rate", 0.2, "mean session arrival rate (sessions/sec)")
+		policy    = flag.String("policy", mamut.PolicyLeastLoaded, "placement policy: "+strings.Join(mamut.ServePolicyNames(), "|"))
+		duration  = flag.Float64("duration", 300, "arrival-process horizon (simulated seconds)")
+		seed      = flag.Int64("seed", 1, "seed; equal seeds give byte-identical output")
+		workers   = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU); output is identical for any value")
+		mix       = flag.Float64("mix", 0.4, "fraction of arrivals requesting HR (the rest are LR)")
+		meanSess  = flag.Float64("mean-session", 60, "mean session length (seconds, exponential)")
+		admission = flag.Int("admission", 8, "per-server admission limit (sessions)")
+		warmup    = flag.Float64("warmup", -1, "measurement-window start (seconds; -1 = duration/4)")
+		approach  = flag.String("approach", string(mamut.ApproachMAMUT), "per-session controller: mamut|monoagent|heuristic")
+		curve     = flag.String("curve", string(mamut.LoadConstant), "load curve: constant|diurnal|ramp")
+		amplitude = flag.Float64("amplitude", 0.5, "diurnal modulation depth in [0,1)")
+		rampTo    = flag.Float64("ramp-factor", 2, "ramp: final/base arrival-rate ratio")
+		slo       = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
+		format    = flag.String("format", "summary", "output format for single runs: summary|csv")
+		policies  = flag.String("policies", "", "grid mode: comma-separated policies (with -rates/-seeds)")
+		rates     = flag.String("rates", "", "grid mode: comma-separated arrival rates")
+		seeds     = flag.String("seeds", "", "grid mode: comma-separated seeds")
+	)
+	flag.Parse()
+
+	if *warmup < 0 {
+		*warmup = *duration / 4
+	}
+	// The library treats zero-valued config fields as "use the default",
+	// so an *explicit* zero on these flags must be translated into the
+	// forcing value (or rejected) rather than silently becoming the
+	// default.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if setFlags["mix"] && *mix == 0 {
+		*mix = -1 // negative forces a pure-LR workload
+	}
+	if setFlags["amplitude"] && *amplitude == 0 {
+		*amplitude = 1e-9 // effectively unmodulated diurnal curve
+	}
+	if setFlags["slo"] && *slo == 0 {
+		*slo = 1e-9 // effectively no FPS requirement: every session passes
+	}
+	if setFlags["admission"] && *admission <= 0 {
+		fatal(fmt.Errorf("-admission %d must be >= 1", *admission))
+	}
+	cfg := mamut.ServeConfig{
+		Servers:              *servers,
+		MaxSessionsPerServer: *admission,
+		Policy:               *policy,
+		Approach:             mamut.Approach(*approach),
+		Workload: mamut.ServeWorkload{
+			ArrivalRate:    *rate,
+			DurationSec:    *duration,
+			HRFraction:     *mix,
+			MeanSessionSec: *meanSess,
+			Curve:          mamut.ServeLoadCurve(*curve),
+			CurveAmplitude: *amplitude,
+			RampEndFactor:  *rampTo,
+		},
+		WarmupSec:    *warmup,
+		SLOFPSFactor: *slo,
+		Seed:         *seed,
+		Workers:      *workers,
+	}
+
+	if *policies != "" || *rates != "" || *seeds != "" {
+		runGrid(cfg, *policies, *rates, *seeds, *workers)
+		return
+	}
+	res, err := mamut.RunService(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "summary":
+		printSummary(cfg, res)
+	case "csv":
+		printCSV(res)
+	default:
+		fatal(fmt.Errorf("unknown format %q (summary|csv)", *format))
+	}
+}
+
+func runGrid(base mamut.ServeConfig, policies, rates, seeds string, workers int) {
+	spec := mamut.ServeGridSpec{Base: base, Workers: workers}
+	var err error
+	if policies != "" {
+		if spec.Policies, err = cliutil.ParseStrings(policies); err != nil {
+			fatal(err)
+		}
+	}
+	if rates != "" {
+		if spec.ArrivalRates, err = cliutil.ParseFloats(rates); err != nil {
+			fatal(err)
+		}
+	}
+	if seeds != "" {
+		if spec.Seeds, err = cliutil.ParseInt64s(seeds); err != nil {
+			fatal(err)
+		}
+	}
+	cells, err := mamut.RunServiceGrid(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("policy,arrival_rate,seed,offered,admitted,rejected,rejection_pct," +
+		"measured,slo_pct,hr_slo_pct,lr_slo_pct,fleet_avg_power_w")
+	for _, c := range cells {
+		r := c.Result
+		fmt.Printf("%s,%g,%d,%d,%d,%d,%.2f,%d,%.2f,%.2f,%.2f,%.2f\n",
+			c.Policy, c.ArrivalRate, c.Seed, r.Offered, r.Admitted, r.Rejected,
+			r.RejectionPct, r.Measured, r.SLOAttainedPct,
+			r.HR.SLOAttainedPct, r.LR.SLOAttainedPct, r.FleetAvgPowerW)
+	}
+}
+
+func printSummary(cfg mamut.ServeConfig, r *mamut.ServeResult) {
+	fmt.Printf("mamut-serve: policy=%s servers=%d admission=%d approach=%s seed=%d\n",
+		r.Policy, cfg.Servers, cfg.MaxSessionsPerServer, cfg.Approach, cfg.Seed)
+	mix := cfg.Workload.HRFraction
+	if mix < 0 {
+		mix = 0
+	}
+	fmt.Printf("workload: rate=%g/s curve=%s mix=%.0f%%HR mean-session=%gs horizon=%gs warmup=%gs\n",
+		cfg.Workload.ArrivalRate, cfg.Workload.Curve, 100*mix,
+		cfg.Workload.MeanSessionSec, r.DurationSec, r.WarmupSec)
+	fmt.Printf("arrivals: offered=%d admitted=%d rejected=%d (%.1f%%); in-window rejected %d of %d (%.1f%%)\n",
+		r.Offered, r.Admitted, r.Rejected, r.RejectionPct,
+		r.MeasuredRejected, r.MeasuredOffered, r.MeasuredRejectionPct)
+	fmt.Printf("SLO (avg FPS >= %.0f%% of target): %.1f%% of %d measured sessions\n",
+		100*cfg.SLOFPSFactor, r.SLOAttainedPct, r.Measured)
+	for _, cls := range []struct {
+		name  string
+		stats mamut.ServeClassStats
+	}{{"HR", r.HR}, {"LR", r.LR}} {
+		fmt.Printf("  %s: %d sessions, SLO %.1f%%, avg FPS %.1f, avg PSNR %.1f dB, frame violations %.1f%%\n",
+			cls.name, cls.stats.Sessions, cls.stats.SLOAttainedPct,
+			cls.stats.AvgFPS, cls.stats.AvgPSNRdB, cls.stats.AvgViolationPct)
+	}
+	fmt.Printf("fleet: avg power %.1f W over the measurement window\n", r.FleetAvgPowerW)
+	fmt.Println("server  sessions  peak  util_pct  avg_power_w")
+	for _, s := range r.Servers {
+		fmt.Printf("%6d  %8d  %4d  %8.1f  %11.1f\n",
+			s.Index, s.Sessions, s.PeakActive, s.UtilizationPct, s.AvgPowerW)
+	}
+}
+
+func printCSV(r *mamut.ServeResult) {
+	fmt.Println("scope,sessions,peak_active,utilization_pct,avg_power_w,slo_pct,rejection_pct")
+	for _, s := range r.Servers {
+		fmt.Printf("server%d,%d,%d,%.2f,%.2f,,\n",
+			s.Index, s.Sessions, s.PeakActive, s.UtilizationPct, s.AvgPowerW)
+	}
+	fmt.Printf("fleet,%d,,,%.2f,%.2f,%.2f\n",
+		r.Admitted, r.FleetAvgPowerW, r.SLOAttainedPct, r.RejectionPct)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mamut-serve:", err)
+	os.Exit(1)
+}

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 
+	"mamut/internal/cliutil"
 	"mamut/internal/experiments"
 	"mamut/internal/hevc"
 	"mamut/internal/platform"
@@ -49,15 +49,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown resolution %q", *resFlag))
 	}
-	qps, err := parseInts(*qpFlag)
+	qps, err := cliutil.ParseInts(*qpFlag)
 	if err != nil {
 		fatal(err)
 	}
-	threads, err := parseInts(*thFlag)
+	threads, err := cliutil.ParseInts(*thFlag)
 	if err != nil {
 		fatal(err)
 	}
-	freqs, err := parseFloats(*freqFlag)
+	freqs, err := cliutil.ParseFloats(*freqFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -157,30 +157,6 @@ func measure(res video.Resolution, qp, th int, f float64, frames int, complexity
 	sr := out.Sessions[0]
 	return fmt.Sprintf("%s,%d,%d,%.1f,%.2f,%.2f,%.2f,%.3f",
 		res, qp, th, f, sr.AvgFPS, out.AvgPowerW, sr.AvgPSNRdB, sr.AvgBitrateMbps), nil
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad float %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

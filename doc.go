@@ -31,6 +31,25 @@
 //   - internal/transcode: the event-driven multi-session engine
 //   - internal/experiments: everything needed to regenerate the paper's
 //     figures and tables
+//   - internal/serve: the continuous-serving layer (see below)
+//
+// # Serving layer
+//
+// Beyond the paper's fixed stream mixes, the serving layer runs the
+// system as a continuously loaded service: a workload generator emits
+// session arrivals (Poisson with a configurable HR/LR mix and
+// exponential session lengths, optionally shaped by a diurnal or ramp
+// load curve, or replayed from a deterministic trace), a dispatcher
+// places each arrival on one server of a simulated fleet under a
+// pluggable placement policy (round-robin, least-loaded, or
+// power/thermal-aware) with per-server admission limits, and
+// steady-state service metrics — per-class real-time SLO attainment,
+// rejection rate, fleet power, per-server utilization — are aggregated
+// over a measurement window after warm-up. Entry points: RunService for
+// one run, RunServiceGrid for (policy x arrival-rate x seed) sweeps,
+// and cmd/mamut-serve on the command line. Per-server simulations fan
+// out across the experiment scheduler's worker pool; results are
+// bit-identical for any worker count.
 //
 // # Quick start
 //

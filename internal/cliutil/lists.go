@@ -1,0 +1,78 @@
+// Package cliutil holds small helpers shared by the cmd/ binaries.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// splitList breaks a comma-separated flag value into trimmed elements,
+// rejecting empty elements (e.g. from a trailing comma) with a clear
+// error instead of a confusing parse failure downstream.
+func splitList(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty element in list %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseStrings parses a comma-separated list of non-empty strings.
+func ParseStrings(s string) ([]string, error) { return splitList(s) }
+
+// ParseInts parses a comma-separated list of integers.
+func ParseInts(s string) ([]int, error) {
+	parts, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseInt64s parses a comma-separated list of 64-bit integers.
+func ParseInt64s(s string) ([]int64, error) {
+	parts, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated list of floats.
+func ParseFloats(s string) ([]float64, error) {
+	parts, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

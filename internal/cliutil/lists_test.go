@@ -1,0 +1,29 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLists(t *testing.T) {
+	if got, err := ParseInts("1, 2,3"); err != nil || !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("ParseInts = %v, %v", got, err)
+	}
+	if got, err := ParseInt64s("10,-2"); err != nil || !reflect.DeepEqual(got, []int64{10, -2}) {
+		t.Errorf("ParseInt64s = %v, %v", got, err)
+	}
+	if got, err := ParseFloats("0.5, 2"); err != nil || !reflect.DeepEqual(got, []float64{0.5, 2}) {
+		t.Errorf("ParseFloats = %v, %v", got, err)
+	}
+	if got, err := ParseStrings(" a ,b"); err != nil || !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("ParseStrings = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1,,2", "1,2,", "x"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseFloats("1,zz"); err == nil {
+		t.Error("ParseFloats accepted non-float")
+	}
+}

@@ -256,9 +256,9 @@ func InitialSettings(res video.Resolution) transcode.Settings {
 // delivery-side stall metric: one second at the target frame rate.
 const bufferPreroll = 24
 
-// subSeed derives a deterministic sub-seed from the experiment seed and a
+// SubSeed derives a deterministic sub-seed from the experiment seed and a
 // label, so adding configurations never perturbs existing ones.
-func subSeed(base int64, label string, rep int) int64 {
+func SubSeed(base int64, label string, rep int) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%d", base, label, rep)
 	return int64(h.Sum64() & 0x7fffffffffffffff)
@@ -292,11 +292,11 @@ type repOutcome struct {
 // runRep executes one fully independent repetition of one workload under
 // one controller factory. It owns every piece of mutable state it touches
 // (engine, rngs, controllers), deriving determinism solely from
-// subSeed(opts.Seed, w.Name+"|"+label, rep), so concurrent calls with
+// SubSeed(opts.Seed, w.Name+"|"+label, rep), so concurrent calls with
 // distinct (workload, label, rep) tuples are race-free and order-free.
 // opts must already be validated.
 func runRep(w WorkloadSpec, kind ScenarioKind, label string, factory ControllerFactory, opts Options, rep int) (repOutcome, error) {
-	seed := subSeed(opts.Seed, w.Name+"|"+label, rep)
+	seed := SubSeed(opts.Seed, w.Name+"|"+label, rep)
 	rng := rand.New(rand.NewSource(seed))
 	eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
 	if err != nil {

@@ -104,16 +104,16 @@ func TestInitialSettings(t *testing.T) {
 }
 
 func TestSubSeedDeterministicAndDistinct(t *testing.T) {
-	a := subSeed(1, "x", 0)
-	b := subSeed(1, "x", 0)
+	a := SubSeed(1, "x", 0)
+	b := SubSeed(1, "x", 0)
 	if a != b {
-		t.Error("subSeed not deterministic")
+		t.Error("SubSeed not deterministic")
 	}
-	if subSeed(1, "x", 1) == a || subSeed(1, "y", 0) == a || subSeed(2, "x", 0) == a {
-		t.Error("subSeed collisions across labels")
+	if SubSeed(1, "x", 1) == a || SubSeed(1, "y", 0) == a || SubSeed(2, "x", 0) == a {
+		t.Error("SubSeed collisions across labels")
 	}
 	if a < 0 {
-		t.Error("subSeed negative")
+		t.Error("SubSeed negative")
 	}
 }
 

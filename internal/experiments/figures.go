@@ -47,7 +47,7 @@ func Fig2Sweep(opts Options) ([]Fig2Point, error) {
 	const frames = 120
 	for _, th := range Fig2Threads {
 		for _, qp := range Fig2QPs {
-			eng, err := transcode.NewEngine(spec, model, subSeed(opts.Seed, "fig2", th*100+qp))
+			eng, err := transcode.NewEngine(spec, model, SubSeed(opts.Seed, "fig2", th*100+qp))
 			if err != nil {
 				return nil, err
 			}
@@ -55,7 +55,7 @@ func Fig2Sweep(opts Options) ([]Fig2Point, error) {
 				Name: "fig2", Res: video.HR, Frames: frames * 2, FrameRate: 24,
 				BaseComplexity: 1.0, Dynamism: 0, MeanSceneLen: 1000,
 			}
-			src, err := video.NewGenerator(seq, rand.New(rand.NewSource(subSeed(opts.Seed, "fig2src", th*100+qp))))
+			src, err := video.NewGenerator(seq, rand.New(rand.NewSource(SubSeed(opts.Seed, "fig2src", th*100+qp))))
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +106,7 @@ func Fig5Trace(opts Options, window int) (*Fig5Result, error) {
 	if window < 1 {
 		return nil, fmt.Errorf("experiments: window %d < 1", window)
 	}
-	rng := rand.New(rand.NewSource(subSeed(opts.Seed, "fig5", 0)))
+	rng := rand.New(rand.NewSource(SubSeed(opts.Seed, "fig5", 0)))
 	eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
 	if err != nil {
 		return nil, err

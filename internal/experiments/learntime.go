@@ -62,7 +62,7 @@ func LearningTime(opts Options, frames int) (*LearningTimeResult, error) {
 	}
 
 	run := func(label string, build func(rng *rand.Rand) (transcode.Controller, error)) (transcode.Controller, error) {
-		rng := rand.New(rand.NewSource(subSeed(opts.Seed, "learntime|"+label, 0)))
+		rng := rand.New(rand.NewSource(SubSeed(opts.Seed, "learntime|"+label, 0)))
 		eng, err := transcode.NewEngine(opts.Spec, opts.Model, rng.Int63())
 		if err != nil {
 			return nil, err

@@ -10,7 +10,7 @@ import (
 // This file is the experiment scheduler: a deterministic worker pool that
 // fans independent work units out across goroutines. Every (workload,
 // approach, repetition) cell of the paper's evaluation is independently
-// seeded via subSeed and shares no mutable state, so the grid can run
+// seeded via SubSeed and shares no mutable state, so the grid can run
 // concurrently — the only requirement for bit-identical results is that
 // aggregation consumes outcomes in the same order as the serial loops,
 // which RunUnits guarantees by addressing results by unit index.

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mamut/internal/transcode"
+)
+
+func sampleTrace() []transcode.Observation {
+	return []transcode.Observation{
+		{
+			FrameIndex: 0, Time: 0.0417, FPS: 24.0, InstFPS: 24.0,
+			PSNRdB: 38.25, BitrateMbps: 4.125, PowerW: 96.5,
+			Settings:   transcode.Settings{QP: 32, Threads: 6, FreqGHz: 2.6},
+			Complexity: 1.05, SceneChange: true, SequenceName: "Kimono",
+		},
+		{
+			FrameIndex: 1, Time: 0.0833, FPS: 24.1, InstFPS: 24.2,
+			PSNRdB: 38.11, BitrateMbps: 4.0, PowerW: 95.25,
+			Settings:   transcode.Settings{QP: 33, Threads: 5, FreqGHz: 2.3},
+			Complexity: 0.98, SceneChange: false, SequenceName: "Kimono",
+		},
+	}
+}
+
+func TestWriteTraceCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want header + 2 rows", len(recs))
+	}
+	header := recs[0]
+	if header[0] != "frame" || header[len(header)-1] != "sequence" {
+		t.Errorf("unexpected header %v", header)
+	}
+	for i, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(rec), len(header))
+		}
+	}
+	col := func(rec []string, name string) string {
+		for i, h := range header {
+			if h == name {
+				return rec[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	obs := sampleTrace()[1]
+	row := recs[2]
+	if got := col(row, "frame"); got != "1" {
+		t.Errorf("frame = %s", got)
+	}
+	if got, _ := strconv.ParseFloat(col(row, "psnr_db"), 64); got != 38.11 {
+		t.Errorf("psnr_db = %g, want %g", got, obs.PSNRdB)
+	}
+	if got := col(row, "qp"); got != "33" {
+		t.Errorf("qp = %s", got)
+	}
+	if got := col(row, "scene_change"); got != "false" {
+		t.Errorf("scene_change = %s", got)
+	}
+	if got := col(row, "sequence"); got != "Kimono" {
+		t.Errorf("sequence = %s", got)
+	}
+}
+
+func TestWriteTraceCSVEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	if strings.Count(out, "\n") != 0 || !strings.HasPrefix(out, "frame,") {
+		t.Errorf("empty trace should emit only the header, got %q", out)
+	}
+}
+
+// failWriter errors after n bytes, exercising the error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteTraceCSVPropagatesWriteErrors(t *testing.T) {
+	// The csv package buffers, so errors surface at Flush regardless of
+	// where the underlying writer failed; any byte budget must error.
+	for _, budget := range []int{0, 10, 100} {
+		if err := WriteTraceCSV(&failWriter{n: budget}, sampleTrace()); err == nil {
+			t.Errorf("budget %d: no error from failing writer", budget)
+		}
+	}
+}

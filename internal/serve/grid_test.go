@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"mamut/internal/experiments"
+)
+
+func gridSpec(workers int) GridSpec {
+	return GridSpec{
+		Base: Config{
+			Servers:              2,
+			MaxSessionsPerServer: 3,
+			Approach:             experiments.Heuristic,
+			Workload: Workload{
+				ArrivalRate:    0.2,
+				DurationSec:    80,
+				MeanSessionSec: 15,
+			},
+			WarmupSec: 20,
+		},
+		Policies:     []string{PolicyRoundRobin, PolicyPowerAware},
+		ArrivalRates: []float64{0.15, 0.4},
+		Seeds:        []int64{1, 2},
+		Workers:      workers,
+	}
+}
+
+// TestRunGridSerialParallelEquivalence is the serve-grid equivalence
+// guarantee: the (policy x load x seed) grid produces bit-identical
+// results whether cells run serially or fan out across workers.
+func TestRunGridSerialParallelEquivalence(t *testing.T) {
+	serial, err := RunGrid(gridSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunGrid(gridSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("grid results differ between serial and parallel execution")
+	}
+}
+
+func TestRunGridOrderAndAxes(t *testing.T) {
+	spec := gridSpec(0)
+	cells, err := RunGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(spec.Policies) * len(spec.ArrivalRates) * len(spec.Seeds); len(cells) != want {
+		t.Fatalf("grid has %d cells, want %d", len(cells), want)
+	}
+	k := 0
+	for _, p := range spec.Policies {
+		for _, r := range spec.ArrivalRates {
+			for _, s := range spec.Seeds {
+				c := cells[k]
+				k++
+				if c.Policy != p || c.ArrivalRate != r || c.Seed != s {
+					t.Fatalf("cell %d = (%s, %g, %d), want (%s, %g, %d)",
+						k-1, c.Policy, c.ArrivalRate, c.Seed, p, r, s)
+				}
+				if c.Result == nil || c.Result.Policy != p {
+					t.Fatalf("cell %d missing or mislabelled result", k-1)
+				}
+			}
+		}
+	}
+	// Empty axes collapse to the base config's single point.
+	single, err := RunGrid(GridSpec{Base: gridSpec(0).Base, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 {
+		t.Fatalf("axis defaults produced %d cells, want 1", len(single))
+	}
+}
+
+// TestRunGridKeepsCustomPolicyFactory guards against the grid silently
+// swapping a custom policy for the named default when no Policies axis
+// is given.
+func TestRunGridKeepsCustomPolicyFactory(t *testing.T) {
+	spec := GridSpec{Base: gridSpec(0).Base, Workers: 1}
+	spec.Base.PolicyFactory = func() Policy { return &countingPolicy{} }
+	cells, err := RunGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	if cells[0].Policy != "counting" || cells[0].Result.Policy != "counting" {
+		t.Errorf("custom policy dropped: cell=%q result=%q",
+			cells[0].Policy, cells[0].Result.Policy)
+	}
+}
+
+// countingPolicy is a trivial custom policy (always server 0).
+type countingPolicy struct{ calls int }
+
+func (p *countingPolicy) Name() string { return "counting" }
+
+func (p *countingPolicy) Place(_ SessionRequest, servers []ServerState) int {
+	p.calls++
+	for _, s := range servers {
+		if !s.Full() {
+			return s.Index
+		}
+	}
+	return -1
+}

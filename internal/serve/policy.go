@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+
+	"mamut/internal/platform"
+	"mamut/internal/video"
+)
+
+// ServerState is the dispatcher's view of one server at an arrival
+// instant. The dispatcher tracks occupancy nominally (a placed session is
+// resident from its arrival until arrival + Frames/TargetFPS), which is
+// what a production front-end would know without querying every backend
+// per request.
+type ServerState struct {
+	// Index identifies the server in the fleet.
+	Index int
+	// Active is the number of resident sessions.
+	Active int
+	// HRActive and LRActive split Active by resolution class.
+	HRActive, LRActive int
+	// MaxSessions is the server's admission limit.
+	MaxSessions int
+	// EstPowerW is the estimated package power: idle plus a per-session
+	// estimate for each resident session.
+	EstPowerW float64
+	// EstArrivalW is the estimated power the incoming session would add
+	// to this server (computed from the fleet's platform spec).
+	EstArrivalW float64
+	// PowerBudgetW is the power level the server should stay under: the
+	// power cap, tightened to the thermal-throttle steady-state power
+	// when the thermal model is enabled.
+	PowerBudgetW float64
+}
+
+// Full reports whether the server is at its admission limit.
+func (s ServerState) Full() bool { return s.Active >= s.MaxSessions }
+
+// Policy decides which server of the fleet admits an arrival. Place
+// returns the chosen server's Index, or -1 to reject the arrival. The
+// dispatcher also rejects when the chosen server is Full. Policies may
+// keep state (e.g. a rotation cursor) but must be deterministic.
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Place chooses a server for the request. servers is ordered by
+	// Index and never empty.
+	Place(req SessionRequest, servers []ServerState) int
+}
+
+// Policy registry names.
+const (
+	// PolicyRoundRobin rotates blindly through the fleet, ignoring
+	// occupancy — the classic DNS-round-robin baseline. Arrivals whose
+	// turn lands on a full server are rejected even if others have room.
+	PolicyRoundRobin = "round-robin"
+	// PolicyLeastLoaded places on the server with the fewest resident
+	// sessions, rejecting only when the whole fleet is full.
+	PolicyLeastLoaded = "least-loaded"
+	// PolicyPowerAware places on the non-full server with the most
+	// power/thermal headroom, weighting HR sessions by their higher
+	// estimated power draw; it rejects only when the whole fleet is
+	// full. Under mixed HR/LR load this balances *watts*, not session
+	// counts, which is what keeps every server real-time capable.
+	PolicyPowerAware = "power"
+)
+
+// PolicyNames lists the registered policies in deterministic order.
+func PolicyNames() []string {
+	return []string{PolicyRoundRobin, PolicyLeastLoaded, PolicyPowerAware}
+}
+
+// NewPolicy builds a fresh instance of a registered policy. Instances
+// carry rotation state and must not be shared between concurrent runs.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case PolicyRoundRobin:
+		return &roundRobin{}, nil
+	case PolicyLeastLoaded:
+		return leastLoaded{}, nil
+	case PolicyPowerAware:
+		return powerAware{}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (have %v)", name, PolicyNames())
+	}
+}
+
+type roundRobin struct{ next int }
+
+func (*roundRobin) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobin) Place(_ SessionRequest, servers []ServerState) int {
+	idx := servers[p.next%len(servers)].Index
+	p.next++
+	return idx
+}
+
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return PolicyLeastLoaded }
+
+func (leastLoaded) Place(_ SessionRequest, servers []ServerState) int {
+	best := -1
+	bestActive := 0
+	for _, s := range servers {
+		if s.Full() {
+			continue
+		}
+		if best == -1 || s.Active < bestActive {
+			best, bestActive = s.Index, s.Active
+		}
+	}
+	return best
+}
+
+type powerAware struct{}
+
+func (powerAware) Name() string { return PolicyPowerAware }
+
+func (powerAware) Place(_ SessionRequest, servers []ServerState) int {
+	// Prefer servers that stay inside their power budget after admitting
+	// the session; among those, maximise remaining headroom. When every
+	// server would exceed its budget, fall back to the least overloaded
+	// one — degrading everyone a little beats rejecting outright.
+	best := -1
+	bestOver := false
+	bestHeadroom := 0.0
+	for _, s := range servers {
+		if s.Full() {
+			continue
+		}
+		headroom := s.PowerBudgetW - s.EstPowerW - s.EstArrivalW
+		over := headroom < 0
+		switch {
+		case best == -1,
+			bestOver && !over,
+			over == bestOver && headroom > bestHeadroom:
+			best, bestOver, bestHeadroom = s.Index, over, headroom
+		}
+	}
+	return best
+}
+
+// estSessionPowerW estimates the steady dynamic power one session of the
+// given resolution class adds to a server built on spec, at the common
+// initial operating point (mid frequency, the class's typical thread
+// count, ~80% parallel efficiency). The dispatcher uses this single
+// scalar per class; it does not need to be exact, only to rank HR above
+// LR in proportion to their compute appetite.
+func estSessionPowerW(spec platform.Spec, res video.Resolution) float64 {
+	const efficiency = 0.8
+	midGHz := spec.Nearest(2.6)
+	vf, err := spec.VFNorm(midGHz)
+	if err != nil {
+		// Nearest always returns a ladder rung.
+		panic(err)
+	}
+	threads := 6.0
+	if res == video.LR {
+		threads = 3.0
+	}
+	return spec.DynPowerPerCoreW * vf * efficiency * threads
+}
+
+// powerBudgetW derives the dispatcher's per-server power budget from a
+// platform spec: the power cap, tightened to the steady-state power at
+// which the package would reach its throttle temperature when the thermal
+// model is enabled. Staying under this level keeps the server out of
+// thermal throttling, which would otherwise cut every resident session's
+// service rate.
+func powerBudgetW(spec platform.Spec) float64 {
+	budget := spec.PowerCapW
+	if spec.Thermal.Enabled {
+		if p := (spec.Thermal.ThrottleC - spec.Thermal.AmbientC) / spec.Thermal.RthCPerW; p < budget {
+			budget = p
+		}
+	}
+	return budget
+}

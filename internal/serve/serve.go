@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mamut/internal/experiments"
+	"mamut/internal/hevc"
+	"mamut/internal/metrics"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+// Config defaults.
+const (
+	// DefaultMaxSessionsPerServer matches the paper's single-server
+	// capacity envelope (up to 5 HR or 8 LR streams stay real-time).
+	DefaultMaxSessionsPerServer = 8
+	// DefaultSLOFPSFactor is the per-session real-time SLO: a session
+	// attains the SLO when its lifetime average FPS reaches this
+	// fraction of the target frame rate. (The per-frame windowed-FPS
+	// violation share is reported alongside, but controllers regulate
+	// *around* the target, so average throughput is the quantity that
+	// separates a keeping-up server from an overloaded one.)
+	DefaultSLOFPSFactor = 0.95
+)
+
+// Config describes one service run: the fleet, the placement policy, the
+// offered workload and the measurement protocol.
+type Config struct {
+	// Servers is the fleet size. Default 1.
+	Servers int
+	// MaxSessionsPerServer is the per-server admission limit.
+	// DefaultMaxSessionsPerServer when 0.
+	MaxSessionsPerServer int
+	// Policy names the placement policy (see PolicyNames).
+	// PolicyLeastLoaded when empty.
+	Policy string
+	// PolicyFactory overrides Policy with a custom policy constructor
+	// (a fresh instance is requested per run).
+	PolicyFactory func() Policy
+	// Approach selects the per-session controller. MAMUT when empty.
+	Approach experiments.Approach
+	// Workload is the offered load.
+	Workload Workload
+	// WarmupSec starts the measurement window: sessions arriving before
+	// it and power drawn before it are excluded from the steady-state
+	// metrics. The window ends at the workload horizon.
+	WarmupSec float64
+	// SLOFPSFactor is the session SLO threshold as a fraction of the
+	// target frame rate. DefaultSLOFPSFactor when 0.
+	SLOFPSFactor float64
+	// Spec, Model and Catalog override the simulated substrate.
+	Spec    *platform.Spec
+	Model   *hevc.Model
+	Catalog *video.Catalog
+	// Seed drives all randomness; equal seeds give identical results.
+	Seed int64
+	// Workers sizes the pool the per-server simulations fan out on
+	// (0 = one per CPU, 1 = serial). Results are bit-identical for any
+	// worker count.
+	Workers int
+	// Progress observes completed per-server simulations.
+	Progress experiments.ProgressFunc
+}
+
+// SessionOutcome is the service-level record of one arrival.
+type SessionOutcome struct {
+	// Req is the arrival as dispatched.
+	Req SessionRequest
+	// Server is the admitting server's index, or -1 when rejected.
+	Server int
+	// Measured reports whether the arrival fell inside the measurement
+	// window (at or after warm-up).
+	Measured bool
+	// The remaining fields are zero for rejected arrivals.
+	// Frames is the number of frames actually transcoded.
+	Frames int
+	// ViolationPct is the share of frames whose windowed FPS fell below
+	// the target over the session's lifetime.
+	ViolationPct float64
+	// SLOMet reports AvgFPS >= SLOFPSFactor * target.
+	SLOMet bool
+	// Averages over the session's lifetime.
+	AvgFPS         float64
+	AvgPSNRdB      float64
+	AvgBitrateMbps float64
+}
+
+// ServerResult aggregates one server of the fleet.
+type ServerResult struct {
+	// Index identifies the server.
+	Index int
+	// Sessions is the number of sessions admitted over the whole run.
+	Sessions int
+	// PeakActive is the highest number of simultaneously resident
+	// sessions observed (by actual session lifetimes). It can exceed
+	// the admission limit under overload: the dispatcher admits on
+	// nominal session lengths, and contention stretches real ones.
+	PeakActive int
+	// AvgPowerW is the package power averaged over the measurement
+	// window (idle power when the server saw no load).
+	AvgPowerW float64
+	// UtilizationPct is the time-averaged resident-session count over
+	// the measurement window, as a percentage of the admission limit.
+	UtilizationPct float64
+}
+
+// ClassStats aggregates the measured sessions of one resolution class.
+type ClassStats struct {
+	// Sessions is the number of measured (admitted, in-window) sessions.
+	Sessions int
+	// SLOAttainedPct is the share of them that met the real-time SLO.
+	SLOAttainedPct float64
+	// AvgViolationPct, AvgFPS and AvgPSNRdB average over them.
+	AvgViolationPct float64
+	AvgFPS          float64
+	AvgPSNRdB       float64
+}
+
+// Result is the steady-state outcome of a service run.
+type Result struct {
+	// Policy is the placement policy that ran.
+	Policy string
+	// DurationSec is the workload horizon; WarmupSec is the measurement
+	// window start. (Simulation continues past the horizon until every
+	// admitted session finishes.)
+	DurationSec float64
+	WarmupSec   float64
+	// Offered / Admitted / Rejected count every arrival of the run;
+	// RejectionPct is Rejected/Offered.
+	Offered      int
+	Admitted     int
+	Rejected     int
+	RejectionPct float64
+	// MeasuredOffered and MeasuredRejected restrict the accounting to
+	// the measurement window; MeasuredRejectionPct is their ratio.
+	MeasuredOffered      int
+	MeasuredRejected     int
+	MeasuredRejectionPct float64
+	// Measured is the number of admitted in-window sessions the SLO
+	// statistics cover; SLOAttainedPct is the share that met the SLO.
+	Measured       int
+	SLOAttainedPct float64
+	// HR and LR split the SLO statistics by resolution class.
+	HR, LR ClassStats
+	// FleetAvgPowerW is the mean per-server window power.
+	FleetAvgPowerW float64
+	// Servers holds one entry per server, in index order.
+	Servers []ServerResult
+	// Sessions holds one entry per arrival, in arrival order.
+	Sessions []SessionOutcome
+}
+
+// withDefaults resolves zero config fields.
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
+	if c.MaxSessionsPerServer == 0 {
+		c.MaxSessionsPerServer = DefaultMaxSessionsPerServer
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyLeastLoaded
+	}
+	if c.Approach == "" {
+		c.Approach = experiments.MAMUT
+	}
+	if c.SLOFPSFactor == 0 {
+		c.SLOFPSFactor = DefaultSLOFPSFactor
+	}
+	c.Workload = c.Workload.withDefaults()
+	return c
+}
+
+// Validate reports whether the config is usable (after defaults).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Servers < 1 {
+		return fmt.Errorf("serve: fleet size %d < 1", c.Servers)
+	}
+	if c.MaxSessionsPerServer < 1 {
+		return fmt.Errorf("serve: admission limit %d < 1", c.MaxSessionsPerServer)
+	}
+	if c.PolicyFactory == nil {
+		if _, err := NewPolicy(c.Policy); err != nil {
+			return err
+		}
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.WarmupSec < 0 {
+		return fmt.Errorf("serve: negative warm-up %g", c.WarmupSec)
+	}
+	if d := c.Workload.withDefaults().DurationSec; c.WarmupSec >= d && d > 0 {
+		return fmt.Errorf("serve: warm-up %gs consumes the whole %gs horizon", c.WarmupSec, d)
+	}
+	if c.SLOFPSFactor < 0 {
+		return fmt.Errorf("serve: negative SLO factor %g", c.SLOFPSFactor)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("serve: workers %d < 0", c.Workers)
+	}
+	return nil
+}
+
+// placement couples an arrival with the dispatcher's decision.
+type placement struct {
+	req    SessionRequest
+	server int // -1 = rejected
+}
+
+// dispatch replays the arrival sequence through the policy, maintaining
+// the dispatcher's nominal occupancy view (a session is resident from
+// arrival until arrival + Frames/TargetFPS) and enforcing the admission
+// limit. It is sequential and deterministic by construction.
+func dispatch(arrivals []SessionRequest, pol Policy, cfg Config, spec platform.Spec) []placement {
+	budget := powerBudgetW(spec)
+	estW := map[video.Resolution]float64{
+		video.HR: estSessionPowerW(spec, video.HR),
+		video.LR: estSessionPowerW(spec, video.LR),
+	}
+	type resident struct {
+		end float64
+		res video.Resolution
+	}
+	residents := make([][]resident, cfg.Servers)
+	states := make([]ServerState, cfg.Servers)
+	out := make([]placement, 0, len(arrivals))
+	for _, req := range arrivals {
+		t := req.ArriveAtSec
+		for i := range states {
+			keep := residents[i][:0]
+			hr, lr := 0, 0
+			for _, r := range residents[i] {
+				if r.end > t {
+					keep = append(keep, r)
+					if r.res == video.HR {
+						hr++
+					} else {
+						lr++
+					}
+				}
+			}
+			residents[i] = keep
+			states[i] = ServerState{
+				Index:        i,
+				Active:       hr + lr,
+				HRActive:     hr,
+				LRActive:     lr,
+				MaxSessions:  cfg.MaxSessionsPerServer,
+				EstPowerW:    spec.IdlePowerW + float64(hr)*estW[video.HR] + float64(lr)*estW[video.LR],
+				EstArrivalW:  estW[req.Res],
+				PowerBudgetW: budget,
+			}
+		}
+		choice := pol.Place(req, states)
+		if choice < 0 || choice >= cfg.Servers || states[choice].Full() {
+			out = append(out, placement{req: req, server: -1})
+			continue
+		}
+		residents[choice] = append(residents[choice], resident{
+			end: t + float64(req.Frames)/cfg.Workload.TargetFPS,
+			res: req.Res,
+		})
+		out = append(out, placement{req: req, server: choice})
+	}
+	return out
+}
+
+// runServer simulates one server of the fleet: its admitted sessions join
+// and leave a private transcode.Engine at their dispatched times. placed
+// must be in arrival order; the returned result's Sessions align with it.
+func runServer(idx int, placed []SessionRequest, cfg Config, spec platform.Spec, model hevc.Model,
+	catalog *video.Catalog, factory experiments.ControllerFactory) (*transcode.Result, error) {
+	eng, err := transcode.NewEngine(spec, model, experiments.SubSeed(cfg.Seed, "serve|server", idx))
+	if err != nil {
+		return nil, err
+	}
+	for _, req := range placed {
+		seq, err := catalog.Get(req.Sequence)
+		if err != nil {
+			return nil, err
+		}
+		src, err := video.NewGenerator(seq, rand.New(rand.NewSource(req.SourceSeed)))
+		if err != nil {
+			return nil, err
+		}
+		initial := experiments.InitialSettings(req.Res)
+		ctrl, err := factory(req.Res, initial, rand.New(rand.NewSource(req.ControllerSeed)))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.AddSession(transcode.SessionConfig{
+			Source:        src,
+			Controller:    ctrl,
+			Initial:       initial,
+			BandwidthMbps: req.BandwidthMbps,
+			TargetFPS:     cfg.Workload.TargetFPS,
+			FrameBudget:   req.Frames,
+			StartAtSec:    req.ArriveAtSec,
+			CollectTrace:  true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Run()
+}
+
+// Run executes one service simulation: generate (or replay) the arrival
+// process, dispatch every arrival through the placement policy, simulate
+// each server's admitted sessions on its own engine (fanned out across
+// the worker pool), and aggregate steady-state service metrics over the
+// measurement window.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := platform.DefaultSpec()
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	model := hevc.DefaultModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = video.DefaultCatalog()
+	}
+	factory, err := experiments.Factory(cfg.Approach, experiments.Options{Spec: spec, Model: model})
+	if err != nil {
+		return nil, err
+	}
+	var pol Policy
+	if cfg.PolicyFactory != nil {
+		pol = cfg.PolicyFactory()
+		if pol == nil {
+			return nil, fmt.Errorf("serve: policy factory returned nil")
+		}
+	} else if pol, err = NewPolicy(cfg.Policy); err != nil {
+		return nil, err
+	}
+
+	arrivals, err := GenerateArrivals(cfg.Workload, catalog, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	placements := dispatch(arrivals, pol, cfg, spec)
+
+	// One work unit per server with at least one admitted session.
+	perServer := make([][]SessionRequest, cfg.Servers)
+	for _, p := range placements {
+		if p.server >= 0 {
+			perServer[p.server] = append(perServer[p.server], p.req)
+		}
+	}
+	var units []experiments.Unit[*transcode.Result]
+	unitServer := make([]int, 0, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		if len(perServer[i]) == 0 {
+			continue
+		}
+		i := i
+		units = append(units, experiments.Unit[*transcode.Result]{
+			Label: fmt.Sprintf("server %d (%d sessions)", i, len(perServer[i])),
+			Run: func() (*transcode.Result, error) {
+				return runServer(i, perServer[i], cfg, spec, model, catalog, factory)
+			},
+		})
+		unitServer = append(unitServer, i)
+	}
+	outs, err := experiments.RunUnits(cfg.Workers, units, cfg.Progress)
+	if err != nil {
+		return nil, err
+	}
+	engRes := make([]*transcode.Result, cfg.Servers)
+	for u, srv := range unitServer {
+		engRes[srv] = outs[u]
+	}
+	return aggregate(cfg, spec, pol.Name(), placements, perServer, engRes), nil
+}
+
+// aggregate folds the dispatch log and the per-server simulation results
+// into the service-level Result.
+func aggregate(cfg Config, spec platform.Spec, policyName string, placements []placement,
+	perServer [][]SessionRequest, engRes []*transcode.Result) *Result {
+	horizon := cfg.Workload.DurationSec
+	res := &Result{
+		Policy:      policyName,
+		DurationSec: horizon,
+		WarmupSec:   cfg.WarmupSec,
+		Offered:     len(placements),
+	}
+
+	// Per-session outcomes. Engine sessions were added in arrival order,
+	// so perServer[s][k] corresponds to engRes[s].Sessions[k].
+	nextOnServer := make([]int, cfg.Servers)
+	actual := make([][]interval, cfg.Servers)
+	var hrV, lrV []SessionOutcome
+	for _, p := range placements {
+		so := SessionOutcome{
+			Req:      p.req,
+			Server:   p.server,
+			Measured: p.req.ArriveAtSec >= cfg.WarmupSec,
+		}
+		if p.server < 0 {
+			res.Rejected++
+			if so.Measured {
+				res.MeasuredOffered++
+				res.MeasuredRejected++
+			}
+			res.Sessions = append(res.Sessions, so)
+			continue
+		}
+		res.Admitted++
+		sr := engRes[p.server].Sessions[nextOnServer[p.server]]
+		nextOnServer[p.server]++
+		so.Frames = sr.Frames
+		so.ViolationPct = sr.ViolationPct
+		so.SLOMet = sr.AvgFPS >= cfg.SLOFPSFactor*cfg.Workload.TargetFPS
+		so.AvgFPS = sr.AvgFPS
+		so.AvgPSNRdB = sr.AvgPSNRdB
+		so.AvgBitrateMbps = sr.AvgBitrateMbps
+		end := p.req.ArriveAtSec
+		if n := len(sr.Trace); n > 0 {
+			end = sr.Trace[n-1].Time
+		}
+		actual[p.server] = append(actual[p.server], interval{p.req.ArriveAtSec, end})
+		if so.Measured {
+			res.MeasuredOffered++
+			res.Measured++
+			if p.req.Res == video.HR {
+				hrV = append(hrV, so)
+			} else {
+				lrV = append(lrV, so)
+			}
+		}
+		res.Sessions = append(res.Sessions, so)
+	}
+	if res.Offered > 0 {
+		res.RejectionPct = 100 * float64(res.Rejected) / float64(res.Offered)
+	}
+	if res.MeasuredOffered > 0 {
+		res.MeasuredRejectionPct = 100 * float64(res.MeasuredRejected) / float64(res.MeasuredOffered)
+	}
+	res.HR = classStats(hrV)
+	res.LR = classStats(lrV)
+	if res.Measured > 0 {
+		met := 0
+		for _, so := range hrV {
+			if so.SLOMet {
+				met++
+			}
+		}
+		for _, so := range lrV {
+			if so.SLOMet {
+				met++
+			}
+		}
+		res.SLOAttainedPct = 100 * float64(met) / float64(res.Measured)
+	}
+
+	// Per-server window power, utilization and peak occupancy.
+	winLen := horizon - cfg.WarmupSec
+	for i := 0; i < cfg.Servers; i++ {
+		sr := ServerResult{Index: i, Sessions: len(perServer[i]), AvgPowerW: spec.IdlePowerW}
+		if engRes[i] != nil {
+			var traces [][]transcode.Observation
+			for _, s := range engRes[i].Sessions {
+				traces = append(traces, s.Trace)
+			}
+			if w, err := metrics.TimeWeightedPower(traces, cfg.WarmupSec, horizon); err == nil {
+				sr.AvgPowerW = w
+			}
+		}
+		busy := 0.0
+		for _, iv := range actual[i] {
+			lo, hi := iv.start, iv.end
+			if lo < cfg.WarmupSec {
+				lo = cfg.WarmupSec
+			}
+			if hi > horizon {
+				hi = horizon
+			}
+			if hi > lo {
+				busy += hi - lo
+			}
+		}
+		if winLen > 0 {
+			sr.UtilizationPct = 100 * busy / (winLen * float64(cfg.MaxSessionsPerServer))
+		}
+		sr.PeakActive = peakActive(actual[i])
+		res.FleetAvgPowerW += sr.AvgPowerW
+		res.Servers = append(res.Servers, sr)
+	}
+	res.FleetAvgPowerW /= float64(cfg.Servers)
+	return res
+}
+
+// classStats folds measured session outcomes of one class.
+func classStats(v []SessionOutcome) ClassStats {
+	cs := ClassStats{Sessions: len(v)}
+	if len(v) == 0 {
+		return cs
+	}
+	met := 0
+	for _, so := range v {
+		if so.SLOMet {
+			met++
+		}
+		cs.AvgViolationPct += so.ViolationPct
+		cs.AvgFPS += so.AvgFPS
+		cs.AvgPSNRdB += so.AvgPSNRdB
+	}
+	n := float64(len(v))
+	cs.SLOAttainedPct = 100 * float64(met) / n
+	cs.AvgViolationPct /= n
+	cs.AvgFPS /= n
+	cs.AvgPSNRdB /= n
+	return cs
+}
+
+// interval is one session's actual residency [start, end] on a server.
+type interval struct{ start, end float64 }
+
+// peakActive returns the maximum number of simultaneously open intervals.
+func peakActive(ivs []interval) int {
+	type event struct {
+		t     float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		events = append(events, event{iv.start, +1}, event{iv.end, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		// Close before open at equal times: back-to-back sessions do
+		// not overlap.
+		return events[i].delta < events[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mamut/internal/video"
+)
+
+func TestGenerateArrivalsDeterministic(t *testing.T) {
+	w := Workload{ArrivalRate: 0.5, DurationSec: 200}
+	cat := video.DefaultCatalog()
+	a, err := GenerateArrivals(w, cat, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateArrivals(w, cat, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different arrivals")
+	}
+	c, err := GenerateArrivals(w, cat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical arrivals")
+	}
+}
+
+func TestGenerateArrivalsShape(t *testing.T) {
+	cat := video.DefaultCatalog()
+	w := Workload{ArrivalRate: 1.0, DurationSec: 400, HRFraction: 0.5, MeanSessionSec: 30}
+	arr, err := GenerateArrivals(w, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(400) should land well inside 4 sigma.
+	if n := len(arr); math.Abs(float64(n)-400) > 4*math.Sqrt(400) {
+		t.Errorf("arrival count %d far from rate*duration = 400", n)
+	}
+	minFrames := int(math.Round(DefaultMinSessionSec * 24))
+	prev := 0.0
+	hr := 0
+	for i, r := range arr {
+		if r.ID != i {
+			t.Fatalf("arrival %d has ID %d", i, r.ID)
+		}
+		if r.ArriveAtSec < prev || r.ArriveAtSec >= w.DurationSec {
+			t.Fatalf("arrival %d at %g out of order or past horizon", i, r.ArriveAtSec)
+		}
+		prev = r.ArriveAtSec
+		if r.Frames < minFrames {
+			t.Fatalf("arrival %d has %d frames, below the %d floor", i, r.Frames, minFrames)
+		}
+		if r.Sequence == "" || r.BandwidthMbps <= 0 || r.SourceSeed == 0 || r.ControllerSeed == 0 {
+			t.Fatalf("arrival %d not fully populated: %+v", i, r)
+		}
+		seq, err := cat.Get(r.Sequence)
+		if err != nil || seq.Res != r.Res {
+			t.Fatalf("arrival %d sequence %q does not match class %s", i, r.Sequence, r.Res)
+		}
+		if r.Res == video.HR {
+			hr++
+		}
+	}
+	if frac := float64(hr) / float64(len(arr)); frac < 0.35 || frac > 0.65 {
+		t.Errorf("HR fraction %.2f far from configured 0.5", frac)
+	}
+}
+
+func TestGenerateArrivalsLoadCurves(t *testing.T) {
+	cat := video.DefaultCatalog()
+	base := Workload{ArrivalRate: 0.5, DurationSec: 600}
+	constant, err := GenerateArrivals(base, cat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp := base
+	ramp.Curve = LoadRamp
+	ramp.RampEndFactor = 3
+	ramped, err := GenerateArrivals(ramp, cat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean rate of the ramp is 2x the base: the count should clearly grow.
+	if len(ramped) <= len(constant) {
+		t.Errorf("ramp to 3x produced %d arrivals vs %d constant", len(ramped), len(constant))
+	}
+	// The ramp's second half must be busier than its first half.
+	half := 0
+	for _, r := range ramped {
+		if r.ArriveAtSec < base.DurationSec/2 {
+			half++
+		}
+	}
+	if 2*half >= len(ramped) {
+		t.Errorf("ramp front-loaded: %d of %d arrivals in the first half", half, len(ramped))
+	}
+
+	diurnal := base
+	diurnal.Curve = LoadDiurnal
+	diurnal.CurveAmplitude = 0.9
+	if _, err := GenerateArrivals(diurnal, cat, 3); err != nil {
+		t.Fatalf("diurnal generation failed: %v", err)
+	}
+}
+
+func TestGenerateArrivalsTraceReplay(t *testing.T) {
+	cat := video.DefaultCatalog()
+	w := Workload{Trace: []SessionRequest{
+		{ArriveAtSec: 5, Res: video.LR, Frames: 100},
+		{ArriveAtSec: 1, Res: video.HR, Frames: 200, Sequence: "Kimono"},
+	}}
+	arr, err := GenerateArrivals(w, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 {
+		t.Fatalf("replay returned %d arrivals", len(arr))
+	}
+	if arr[0].ArriveAtSec != 1 || arr[1].ArriveAtSec != 5 {
+		t.Error("trace not sorted by arrival time")
+	}
+	if arr[0].ID != 0 || arr[1].ID != 1 {
+		t.Error("trace not renumbered")
+	}
+	if arr[0].Sequence != "Kimono" {
+		t.Error("explicit sequence overwritten")
+	}
+	if arr[1].Sequence == "" || arr[1].BandwidthMbps == 0 || arr[1].SourceSeed == 0 {
+		t.Errorf("trace defaults not filled: %+v", arr[1])
+	}
+	seq, err := cat.Get(arr[1].Sequence)
+	if err != nil || seq.Res != video.LR {
+		t.Errorf("filled sequence %q not an LR catalog entry", arr[1].Sequence)
+	}
+
+	again, err := GenerateArrivals(w, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(arr, again) {
+		t.Error("trace normalization not deterministic")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	cases := []Workload{
+		{},                                 // no rate
+		{ArrivalRate: 1},                   // no duration
+		{ArrivalRate: -1, DurationSec: 10}, // negative rate
+		{ArrivalRate: 1, DurationSec: 10, HRFraction: 2},
+		{ArrivalRate: 1, DurationSec: 10, Curve: "bogus"},
+		{ArrivalRate: 1, DurationSec: 10, Curve: LoadDiurnal, CurveAmplitude: 1.5},
+		{Trace: []SessionRequest{{ArriveAtSec: -1, Frames: 10}}},
+		{Trace: []SessionRequest{{ArriveAtSec: 0, Frames: 0}}},
+	}
+	for i, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: invalid workload %+v passed validation", i, w)
+		}
+	}
+	ok := Workload{ArrivalRate: 1, DurationSec: 10}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestTraceSequenceDeterminesResolution(t *testing.T) {
+	cat := video.DefaultCatalog()
+	// BQMall is an LR catalog entry; Res is left at its zero value (HR).
+	w := Workload{Trace: []SessionRequest{{ArriveAtSec: 0, Frames: 50, Sequence: "BQMall"}}}
+	arr, err := GenerateArrivals(w, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0].Res != video.LR {
+		t.Errorf("trace entry classified as %s, want LR from its sequence", arr[0].Res)
+	}
+	unknown := Workload{Trace: []SessionRequest{{ArriveAtSec: 0, Frames: 50, Sequence: "Nope"}}}
+	if _, err := GenerateArrivals(unknown, cat, 1); err == nil {
+		t.Error("unknown trace sequence accepted")
+	}
+}
+
+func TestNegativeHRFractionForcesPureLR(t *testing.T) {
+	cat := video.DefaultCatalog()
+	w := Workload{ArrivalRate: 0.5, DurationSec: 200, HRFraction: -1}
+	arr, err := GenerateArrivals(w, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	for _, r := range arr {
+		if r.Res != video.LR {
+			t.Fatalf("arrival %d is %s in a forced-LR workload", r.ID, r.Res)
+		}
+	}
+	// The sentinel must survive repeated defaulting (Run applies
+	// withDefaults before GenerateArrivals applies it again).
+	twice := w.withDefaults().withDefaults()
+	if got, err := GenerateArrivals(twice, cat, 1); err != nil || len(got) != len(arr) {
+		t.Errorf("defaults not idempotent: %d arrivals vs %d, err %v", len(got), len(arr), err)
+	}
+}

@@ -1,0 +1,112 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testSeq(name string, res Resolution, frames int) *Sequence {
+	return &Sequence{
+		Name: name, Res: res, Frames: frames, FrameRate: 24,
+		BaseComplexity: 1.0, Dynamism: 0.3, MeanSceneLen: 50,
+	}
+}
+
+func TestNewPlaylistValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewPlaylist(nil, rng); err == nil {
+		t.Error("empty playlist accepted")
+	}
+	if _, err := NewPlaylist([]*Sequence{testSeq("a", HR, 100)}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	mixed := []*Sequence{testSeq("a", HR, 100), testSeq("b", LR, 100)}
+	if _, err := NewPlaylist(mixed, rng); err == nil {
+		t.Error("mixed-resolution playlist accepted")
+	}
+	bad := []*Sequence{{Name: "broken"}}
+	if _, err := NewPlaylist(bad, rng); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}
+
+func TestPlaylistCrossesBoundariesAndLoopsLast(t *testing.T) {
+	entries := []*Sequence{testSeq("first", LR, 30), testSeq("second", LR, 40)}
+	p, err := NewPlaylist(entries, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Res() != LR {
+		t.Errorf("playlist resolution %s", p.Res())
+	}
+	if p.Sequence().Name != "first" {
+		t.Errorf("starts on %q", p.Sequence().Name)
+	}
+	total := 30 + 40 + 40 + 15 // first, second, and the last loops forever
+	for i := 0; i < total; i++ {
+		f := p.Next()
+		if f.Index != i {
+			t.Fatalf("frame %d has stream index %d", i, f.Index)
+		}
+		// The first frame of every (re)started sequence is a cut.
+		if i == 0 || i == 30 || i == 70 || i == 110 {
+			if !f.SceneChange {
+				t.Errorf("frame %d should be a scene change", i)
+			}
+		}
+		switch {
+		case i < 30:
+			if p.Sequence().Name != "first" {
+				t.Fatalf("frame %d played from %q", i, p.Sequence().Name)
+			}
+		case i >= 30:
+			if p.Sequence().Name != "second" {
+				t.Fatalf("frame %d played from %q", i, p.Sequence().Name)
+			}
+		}
+	}
+}
+
+func TestPlaylistEntriesIsACopy(t *testing.T) {
+	entries := []*Sequence{testSeq("a", HR, 50), testSeq("b", HR, 60)}
+	p, err := NewPlaylist(entries, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Entries()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("entries %v", got)
+	}
+	got[0] = testSeq("mutated", HR, 10)
+	if p.Entries()[0].Name != "a" {
+		t.Error("Entries exposed internal slice")
+	}
+}
+
+func TestScenarioIIPlaylist(t *testing.T) {
+	c := DefaultCatalog()
+	rng := rand.New(rand.NewSource(4))
+	initial, err := c.Get("RaceHorses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ScenarioIIPlaylist(c, initial, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := p.Entries()
+	if len(entries) != 5 {
+		t.Fatalf("playlist has %d entries, want initial + 4", len(entries))
+	}
+	if entries[0].Name != "RaceHorses" {
+		t.Errorf("playlist starts with %q", entries[0].Name)
+	}
+	for i, e := range entries {
+		if e.Res != initial.Res {
+			t.Errorf("entry %d (%s) has resolution %s", i, e.Name, e.Res)
+		}
+	}
+	if _, err := ScenarioIIPlaylist(c, nil, 4, rng); err == nil {
+		t.Error("nil initial sequence accepted")
+	}
+}

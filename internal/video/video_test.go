@@ -228,77 +228,3 @@ func TestCatalogPick(t *testing.T) {
 		t.Error("Pick from empty catalog succeeded")
 	}
 }
-
-func TestPlaylistCrossesBoundaries(t *testing.T) {
-	a := &Sequence{Name: "a", Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
-	b := &Sequence{Name: "b", Res: HR, Frames: 15, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
-	p, err := NewPlaylist([]*Sequence{a, b}, rand.New(rand.NewSource(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 10; i++ {
-		f := p.Next()
-		if f.Index != i {
-			t.Fatalf("global index %d, want %d", f.Index, i)
-		}
-		if p.Sequence().Name != "a" {
-			t.Fatalf("frame %d from %s, want a", i, p.Sequence().Name)
-		}
-	}
-	f := p.Next() // first frame of b
-	if p.Sequence().Name != "b" {
-		t.Fatalf("frame 10 from %s, want b", p.Sequence().Name)
-	}
-	if !f.SceneChange {
-		t.Error("sequence switch not flagged as scene change")
-	}
-	// The playlist loops its last entry forever.
-	for i := 0; i < 100; i++ {
-		p.Next()
-	}
-	if p.Sequence().Name != "b" {
-		t.Errorf("after exhaustion playing %s, want b", p.Sequence().Name)
-	}
-}
-
-func TestPlaylistRejectsMixedResolutions(t *testing.T) {
-	a := &Sequence{Name: "a", Res: HR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
-	b := &Sequence{Name: "b", Res: LR, Frames: 10, FrameRate: 24, BaseComplexity: 1, Dynamism: 0.2, MeanSceneLen: 30}
-	if _, err := NewPlaylist([]*Sequence{a, b}, rand.New(rand.NewSource(1))); err == nil {
-		t.Error("mixed-resolution playlist accepted")
-	}
-	if _, err := NewPlaylist(nil, rand.New(rand.NewSource(1))); err == nil {
-		t.Error("empty playlist accepted")
-	}
-	if _, err := NewPlaylist([]*Sequence{a}, nil); err == nil {
-		t.Error("nil rng accepted")
-	}
-}
-
-func TestScenarioIIPlaylist(t *testing.T) {
-	c := DefaultCatalog()
-	rng := rand.New(rand.NewSource(5))
-	init, err := c.Get("Kimono")
-	if err != nil {
-		t.Fatal(err)
-	}
-	p, err := ScenarioIIPlaylist(c, init, 4, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	entries := p.Entries()
-	if len(entries) != 5 {
-		t.Fatalf("playlist length %d, want 5", len(entries))
-	}
-	if entries[0].Name != "Kimono" {
-		t.Errorf("first entry %s, want Kimono", entries[0].Name)
-	}
-	for _, e := range entries {
-		if e.Res != HR {
-			t.Errorf("entry %s has resolution %s, want HR", e.Name, e.Res)
-		}
-	}
-	if _, err := ScenarioIIPlaylist(c, nil, 4, rng); err == nil {
-		t.Error("nil initial sequence accepted")
-	}
-}

@@ -9,6 +9,7 @@ import (
 	"mamut/internal/experiments"
 	"mamut/internal/hevc"
 	"mamut/internal/platform"
+	"mamut/internal/serve"
 	"mamut/internal/transcode"
 	"mamut/internal/video"
 )
@@ -289,3 +290,63 @@ func LearningTime(opts ExperimentOptions, frames int) (*LearningTimeResult, erro
 func RunAblations(w WorkloadSpec, opts ExperimentOptions) ([]AblationResult, error) {
 	return experiments.RunAblations(w, opts, nil)
 }
+
+// Serving-layer re-exports: internal/serve turns the batch simulator into
+// a continuously loaded service (stochastic session churn dispatched
+// across a multi-server fleet under a pluggable placement policy, with
+// steady-state SLO/power/rejection metrics).
+type (
+	// ServeConfig configures one service run (fleet, policy, workload,
+	// measurement protocol).
+	ServeConfig = serve.Config
+	// ServeWorkload describes the offered session arrival/departure
+	// process (Poisson, diurnal, ramp, or trace replay).
+	ServeWorkload = serve.Workload
+	// ServeSessionRequest is one arrival of the offered load.
+	ServeSessionRequest = serve.SessionRequest
+	// ServeLoadCurve selects how the arrival rate evolves over a run.
+	ServeLoadCurve = serve.LoadCurve
+	// ServeResult is the steady-state outcome of a service run.
+	ServeResult = serve.Result
+	// ServeSessionOutcome is the service-level record of one arrival.
+	ServeSessionOutcome = serve.SessionOutcome
+	// ServeServerResult aggregates one server of the fleet.
+	ServeServerResult = serve.ServerResult
+	// ServeClassStats aggregates measured sessions of one resolution class.
+	ServeClassStats = serve.ClassStats
+	// PlacementPolicy decides which server admits an arrival.
+	PlacementPolicy = serve.Policy
+	// ServerState is the dispatcher's view a policy decides from.
+	ServerState = serve.ServerState
+	// ServeGridSpec spans a (policy x arrival-rate x seed) grid.
+	ServeGridSpec = serve.GridSpec
+	// ServeGridCell couples one grid coordinate with its result.
+	ServeGridCell = serve.GridCell
+)
+
+// Placement policies.
+const (
+	PolicyRoundRobin  = serve.PolicyRoundRobin
+	PolicyLeastLoaded = serve.PolicyLeastLoaded
+	PolicyPowerAware  = serve.PolicyPowerAware
+)
+
+// Load curves for ServeWorkload.
+const (
+	LoadConstant = serve.LoadConstant
+	LoadDiurnal  = serve.LoadDiurnal
+	LoadRamp     = serve.LoadRamp
+)
+
+// ServePolicyNames lists the registered placement policies.
+func ServePolicyNames() []string { return serve.PolicyNames() }
+
+// RunService executes one service simulation: generate (or replay) the
+// arrival process, dispatch every arrival across the fleet, simulate each
+// server on the worker pool and aggregate steady-state metrics. Results
+// are bit-identical for any ServeConfig.Workers value.
+func RunService(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
+
+// RunServiceGrid fans a (policy x arrival-rate x seed) grid of service
+// runs across the worker pool, in deterministic cell order.
+func RunServiceGrid(spec ServeGridSpec) ([]ServeGridCell, error) { return serve.RunGrid(spec) }

@@ -132,3 +132,44 @@ func TestScenarioWorkloadReexports(t *testing.T) {
 		t.Error("quick options not quicker")
 	}
 }
+
+func TestRunServiceFacade(t *testing.T) {
+	cfg := ServeConfig{
+		Servers:  2,
+		Policy:   PolicyPowerAware,
+		Approach: ApproachHeuristic,
+		Workload: ServeWorkload{
+			ArrivalRate:    0.3,
+			DurationSec:    60,
+			MeanSessionSec: 15,
+		},
+		WarmupSec: 15,
+		Seed:      4,
+	}
+	res, err := RunService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || len(res.Servers) != 2 {
+		t.Fatalf("implausible service result: %+v", res)
+	}
+	if res.Policy != PolicyPowerAware {
+		t.Errorf("result policy %q", res.Policy)
+	}
+	cells, err := RunServiceGrid(ServeGridSpec{
+		Base:     cfg,
+		Policies: ServePolicyNames(),
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(ServePolicyNames()) {
+		t.Fatalf("grid returned %d cells", len(cells))
+	}
+	for i, c := range cells {
+		if c.Policy != ServePolicyNames()[i] || c.Result == nil {
+			t.Errorf("cell %d malformed: %+v", i, c)
+		}
+	}
+}
