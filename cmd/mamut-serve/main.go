@@ -3,8 +3,11 @@
 // are dispatched across a multi-server fleet by a placement policy, and
 // steady-state service metrics (SLO attainment, rejection rate, fleet
 // power, per-server utilization) are reported over a measurement window
-// after warm-up. Output is byte-identical for a fixed seed, regardless of
-// -workers.
+// after warm-up. The fleet runs as one event-interleaved simulation: the
+// dispatcher sees each session's actual, contention-stretched departure
+// time when it places the next arrival, so admission and rejection
+// reflect true occupancy rather than nominal session lengths. Output is
+// byte-identical for a fixed seed, regardless of -workers.
 //
 // Usage:
 //

@@ -5,9 +5,13 @@
 //
 //	mamut-sim -controller mamut -hr 2 -lr 3 -frames 20000
 //	mamut-sim -controller heuristic -hr 1 -frames 5000 -trace /tmp/trace.csv
+//	mamut-sim -controller mamut -hr 4 -frames 8000 -stagger 30
 //
 // Streams are assigned catalog sequences round-robin. With -trace, the
-// first stream's per-frame observations are written as CSV.
+// first stream's per-frame observations are written as CSV. With
+// -stagger, stream i arrives i*stagger simulated seconds into the run
+// (the engine's live session lifecycle), so contention builds gradually
+// instead of all streams starting at once.
 package main
 
 import (
@@ -28,8 +32,13 @@ func main() {
 		frames     = flag.Int("frames", 10000, "frames to transcode per stream")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		tracePath  = flag.String("trace", "", "write the first stream's per-frame trace CSV here")
+		stagger    = flag.Float64("stagger", 0, "delay stream i's arrival by i*stagger simulated seconds")
 	)
 	flag.Parse()
+
+	if *stagger < 0 {
+		fatal(fmt.Errorf("-stagger %g must be >= 0", *stagger))
+	}
 
 	if *nHR+*nLR < 1 {
 		fatal(fmt.Errorf("need at least one stream (-hr/-lr)"))
@@ -47,6 +56,7 @@ func main() {
 				Sequence:     seqs[i%len(seqs)].Name,
 				Approach:     mamut.Approach(*controller),
 				Frames:       *frames,
+				StartAtSec:   float64(sim.Streams()) * *stagger,
 				CollectTrace: *tracePath != "" && sim.Streams() == 0,
 			}); err != nil {
 				return err

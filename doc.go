@@ -28,10 +28,29 @@
 //     per-state phases, empirical transition model)
 //   - internal/hevc, internal/platform, internal/video: the simulated
 //     substrates
-//   - internal/transcode: the event-driven multi-session engine
+//   - internal/transcode: the event-scheduled multi-session engine (see
+//     below)
 //   - internal/experiments: everything needed to regenerate the paper's
 //     figures and tables
 //   - internal/serve: the continuous-serving layer (see below)
+//
+// # Simulation core
+//
+// The engine simulates all sessions of one server as an indexed event
+// scheduler. Active sessions share one contention scale (and thermal
+// throttle factor), so service rates only ever rescale uniformly; the
+// engine exploits this by keeping a virtual service clock that advances
+// at scale*throttle times real time, and a min-heap of pending frame
+// completions keyed by virtual time that never needs re-keying. A frame
+// event — completion, controller decision, next-frame admission — costs
+// O(log n) in the number of active sessions; aggregate contention state
+// and package power are maintained incrementally (platform.LoadAccount),
+// and per-session dynamic energy integrates lazily against the virtual
+// clock. Sessions have a live lifecycle: Simulation.AddStream works
+// mid-run, Simulation.AdvanceTo steps the simulation to an absolute time
+// for interleaving with outer event loops, and Simulation.OnStreamEnd
+// delivers explicit departure notifications (a hook may add new streams,
+// modelling continuous churn).
 //
 // # Serving layer
 //
@@ -45,11 +64,15 @@
 // power/thermal-aware) with per-server admission limits, and
 // steady-state service metrics — per-class real-time SLO attainment,
 // rejection rate, fleet power, per-server utilization — are aggregated
-// over a measurement window after warm-up. Entry points: RunService for
-// one run, RunServiceGrid for (policy x arrival-rate x seed) sweeps,
-// and cmd/mamut-serve on the command line. Per-server simulations fan
-// out across the experiment scheduler's worker pool; results are
-// bit-identical for any worker count.
+// over a measurement window after warm-up. The fleet runs as one
+// event-interleaved simulation: every server engine is stepped to each
+// arrival instant before the placement decision, so the dispatcher
+// observes actual, contention-stretched session departures rather than
+// nominal session lengths. Entry points: RunService for one run,
+// RunServiceGrid for (policy x arrival-rate x seed) sweeps, and
+// cmd/mamut-serve on the command line. After the last arrival the
+// engines drain across the experiment scheduler's worker pool; results
+// are bit-identical for any worker count.
 //
 // # Quick start
 //

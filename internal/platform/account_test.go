@@ -1,0 +1,185 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randLoad(rng *rand.Rand, spec Spec) SessionLoad {
+	threads := 1 + rng.Intn(12)
+	freqs := spec.Frequencies()
+	return SessionLoad{
+		Threads: threads,
+		FreqGHz: freqs[rng.Intn(len(freqs))],
+		Speedup: 0.2 + rng.Float64()*(float64(threads)-0.2),
+	}
+}
+
+// checkAgainstEvaluate asserts the account's aggregates match a from-
+// scratch Evaluate over the same resident loads.
+func checkAgainstEvaluate(t *testing.T, srv *Server, a *LoadAccount, resident []SessionLoad) {
+	t.Helper()
+	snap, err := srv.Evaluate(resident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-9
+	if a.Active() != len(resident) {
+		t.Fatalf("active = %d, want %d", a.Active(), len(resident))
+	}
+	if a.TotalThreads() != snap.TotalThreads {
+		t.Errorf("total threads = %d, evaluate %d", a.TotalThreads(), snap.TotalThreads)
+	}
+	if math.Abs(a.UsefulDemand()-snap.UsefulDemand) > tol*(1+snap.UsefulDemand) {
+		t.Errorf("demand = %g, evaluate %g", a.UsefulDemand(), snap.UsefulDemand)
+	}
+	if a.CapacityCores() != snap.CapacityCores {
+		t.Errorf("capacity = %g, evaluate %g", a.CapacityCores(), snap.CapacityCores)
+	}
+	if math.Abs(a.Scale()-snap.Scale) > tol {
+		t.Errorf("scale = %g, evaluate %g", a.Scale(), snap.Scale)
+	}
+	if math.Abs(a.PowerIdealW()-snap.PowerIdealW) > tol*(1+snap.PowerIdealW) {
+		t.Errorf("power = %g, evaluate %g", a.PowerIdealW(), snap.PowerIdealW)
+	}
+}
+
+func TestLoadAccountMatchesEvaluateUnderChurn(t *testing.T) {
+	srv, err := NewServer(DefaultSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := srv.NewLoadAccount()
+	var resident []SessionLoad
+
+	for step := 0; step < 500; step++ {
+		switch {
+		case len(resident) == 0 || rng.Float64() < 0.45:
+			l := randLoad(rng, srv.Spec())
+			if err := a.Add(l); err != nil {
+				t.Fatal(err)
+			}
+			resident = append(resident, l)
+		case rng.Float64() < 0.5:
+			i := rng.Intn(len(resident))
+			a.Remove(resident[i])
+			resident = append(resident[:i], resident[i+1:]...)
+		default:
+			i := rng.Intn(len(resident))
+			l := randLoad(rng, srv.Spec())
+			if err := a.Update(resident[i], l); err != nil {
+				t.Fatal(err)
+			}
+			resident[i] = l
+		}
+		if len(resident) > 0 {
+			checkAgainstEvaluate(t, srv, a, resident)
+		}
+	}
+}
+
+func TestLoadAccountEmptyResetsExactly(t *testing.T) {
+	srv, err := NewServer(DefaultSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := srv.NewLoadAccount()
+	rng := rand.New(rand.NewSource(9))
+	var resident []SessionLoad
+	for i := 0; i < 40; i++ {
+		l := randLoad(rng, srv.Spec())
+		if err := a.Add(l); err != nil {
+			t.Fatal(err)
+		}
+		resident = append(resident, l)
+	}
+	// Remove in a scrambled order: the float aggregates drift, but the
+	// final removal must reset them to exact zero.
+	rng.Shuffle(len(resident), func(i, j int) { resident[i], resident[j] = resident[j], resident[i] })
+	for _, l := range resident {
+		a.Remove(l)
+	}
+	if a.Active() != 0 || a.TotalThreads() != 0 {
+		t.Fatalf("account not empty: active %d, threads %d", a.Active(), a.TotalThreads())
+	}
+	if a.UsefulDemand() != 0 || a.Scale() != 1 {
+		t.Errorf("demand %g / scale %g not exactly reset", a.UsefulDemand(), a.Scale())
+	}
+	if a.DynPowerW() != 0 || a.PowerIdealW() != srv.Spec().IdlePowerW {
+		t.Errorf("power %g not exactly idle %g", a.PowerIdealW(), srv.Spec().IdlePowerW)
+	}
+}
+
+func TestLoadAccountValidation(t *testing.T) {
+	srv, err := NewServer(DefaultSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := srv.NewLoadAccount()
+	bad := []SessionLoad{
+		{Threads: 0, FreqGHz: 2.6, Speedup: 1},
+		{Threads: 4, FreqGHz: 2.6, Speedup: 0},
+		{Threads: 4, FreqGHz: 2.6, Speedup: 5},  // speedup > threads
+		{Threads: 4, FreqGHz: 2.75, Speedup: 2}, // off-ladder frequency
+	}
+	for i, l := range bad {
+		if err := a.Add(l); err == nil {
+			t.Errorf("bad load %d accepted", i)
+		}
+	}
+	if a.Active() != 0 {
+		t.Fatalf("rejected loads mutated the account (active %d)", a.Active())
+	}
+	good := SessionLoad{Threads: 4, FreqGHz: 2.6, Speedup: 2.5}
+	if err := a.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range bad {
+		if err := a.Update(good, l); err == nil {
+			t.Errorf("bad update %d accepted", i)
+		}
+	}
+	if a.Active() != 1 || a.TotalThreads() != 4 {
+		t.Errorf("failed updates mutated the account: active %d threads %d", a.Active(), a.TotalThreads())
+	}
+	// No-op update keeps state bit-identical.
+	demand := a.UsefulDemand()
+	if err := a.Update(good, good); err != nil {
+		t.Fatal(err)
+	}
+	if a.UsefulDemand() != demand {
+		t.Error("no-op update changed the demand aggregate")
+	}
+}
+
+func TestMeterPowerMatchesEvaluateJitter(t *testing.T) {
+	spec := DefaultSpec()
+	loads := []SessionLoad{{Threads: 8, FreqGHz: 2.9, Speedup: 5}}
+	srvA, err := NewServer(spec, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := NewServer(spec, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		snap, err := srvA.Evaluate(loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := srvB.MeterPower(snap.PowerIdealW); got != snap.PowerW {
+			t.Fatalf("draw %d: MeterPower %g != Evaluate metering %g", i, got, snap.PowerW)
+		}
+	}
+	// nil rng or zero noise: the reading is the ideal power.
+	quiet, err := NewServer(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.MeterPower(123.4) != 123.4 {
+		t.Error("nil-rng meter added jitter")
+	}
+}

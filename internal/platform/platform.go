@@ -354,11 +354,19 @@ func (srv *Server) Evaluate(loads []SessionLoad) (Snapshot, error) {
 		power += snap.DynPowerW[i]
 	}
 	snap.PowerIdealW = power
-	snap.PowerW = power
-	if srv.rng != nil && srv.spec.PowerNoiseW > 0 {
-		snap.PowerW = math.Max(0, power+srv.spec.PowerNoiseW*srv.rng.NormFloat64())
-	}
+	snap.PowerW = srv.MeterPower(power)
 	return snap, nil
+}
+
+// MeterPower returns the package power a RAPL-style meter would report for
+// the given noise-free model power: jitter is added when the server was
+// built with an rng, and the reading is floored at zero. Each call
+// consumes one rng draw, mirroring a discrete meter sample.
+func (srv *Server) MeterPower(idealW float64) float64 {
+	if srv.rng != nil && srv.spec.PowerNoiseW > 0 {
+		return math.Max(0, idealW+srv.spec.PowerNoiseW*srv.rng.NormFloat64())
+	}
+	return idealW
 }
 
 // OverCap reports whether a power reading violates the server's cap.

@@ -8,10 +8,13 @@ import (
 )
 
 // ServerState is the dispatcher's view of one server at an arrival
-// instant. The dispatcher tracks occupancy nominally (a placed session is
-// resident from its arrival until arrival + Frames/TargetFPS), which is
-// what a production front-end would know without querying every backend
-// per request.
+// instant. Occupancy reflects *actual* session lifetimes: the fleet runs
+// as one event-interleaved simulation, every engine is stepped to the
+// arrival instant before the decision, and departures are observed
+// through the engine's OnSessionEnd hook — so a session that contention
+// stretched past its nominal length still holds its slot, exactly as a
+// production front-end subscribed to backend session-end events would
+// see it.
 type ServerState struct {
 	// Index identifies the server in the fleet.
 	Index int

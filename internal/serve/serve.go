@@ -96,9 +96,9 @@ type ServerResult struct {
 	// Sessions is the number of sessions admitted over the whole run.
 	Sessions int
 	// PeakActive is the highest number of simultaneously resident
-	// sessions observed (by actual session lifetimes). It can exceed
-	// the admission limit under overload: the dispatcher admits on
-	// nominal session lengths, and contention stretches real ones.
+	// sessions observed (by actual session lifetimes). The dispatcher
+	// admits on those same event-interleaved lifetimes, so it never
+	// exceeds the admission limit.
 	PeakActive int
 	// AvgPowerW is the package power averaged over the measurement
 	// window (idle power when the server saw no load).
@@ -213,108 +213,62 @@ type placement struct {
 	server int // -1 = rejected
 }
 
-// dispatch replays the arrival sequence through the policy, maintaining
-// the dispatcher's nominal occupancy view (a session is resident from
-// arrival until arrival + Frames/TargetFPS) and enforcing the admission
-// limit. It is sequential and deterministic by construction.
-func dispatch(arrivals []SessionRequest, pol Policy, cfg Config, spec platform.Spec) []placement {
-	budget := powerBudgetW(spec)
-	estW := map[video.Resolution]float64{
-		video.HR: estSessionPowerW(spec, video.HR),
-		video.LR: estSessionPowerW(spec, video.LR),
-	}
-	type resident struct {
-		end float64
-		res video.Resolution
-	}
-	residents := make([][]resident, cfg.Servers)
-	states := make([]ServerState, cfg.Servers)
-	out := make([]placement, 0, len(arrivals))
-	for _, req := range arrivals {
-		t := req.ArriveAtSec
-		for i := range states {
-			keep := residents[i][:0]
-			hr, lr := 0, 0
-			for _, r := range residents[i] {
-				if r.end > t {
-					keep = append(keep, r)
-					if r.res == video.HR {
-						hr++
-					} else {
-						lr++
-					}
-				}
-			}
-			residents[i] = keep
-			states[i] = ServerState{
-				Index:        i,
-				Active:       hr + lr,
-				HRActive:     hr,
-				LRActive:     lr,
-				MaxSessions:  cfg.MaxSessionsPerServer,
-				EstPowerW:    spec.IdlePowerW + float64(hr)*estW[video.HR] + float64(lr)*estW[video.LR],
-				EstArrivalW:  estW[req.Res],
-				PowerBudgetW: budget,
-			}
-		}
-		choice := pol.Place(req, states)
-		if choice < 0 || choice >= cfg.Servers || states[choice].Full() {
-			out = append(out, placement{req: req, server: -1})
-			continue
-		}
-		residents[choice] = append(residents[choice], resident{
-			end: t + float64(req.Frames)/cfg.Workload.TargetFPS,
-			res: req.Res,
-		})
-		out = append(out, placement{req: req, server: choice})
-	}
-	return out
+// fleetServer is the dispatcher's live view of one server: its engine
+// (created on first admission) and the sessions actually resident on it.
+// The resident counts are maintained by the engine's OnSessionEnd hook,
+// so the dispatcher sees contention-stretched lifetimes, not the nominal
+// arrival + Frames/TargetFPS approximation.
+type fleetServer struct {
+	eng    *transcode.Engine
+	hr, lr int
 }
 
-// runServer simulates one server of the fleet: its admitted sessions join
-// and leave a private transcode.Engine at their dispatched times. placed
-// must be in arrival order; the returned result's Sessions align with it.
-func runServer(idx int, placed []SessionRequest, cfg Config, spec platform.Spec, model hevc.Model,
-	catalog *video.Catalog, factory experiments.ControllerFactory) (*transcode.Result, error) {
-	eng, err := transcode.NewEngine(spec, model, experiments.SubSeed(cfg.Seed, "serve|server", idx))
+// addSession builds the arrival's source and controller from its fixed
+// per-session seeds and registers it on the server's engine as a live
+// arrival at its dispatch time.
+func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video.Catalog,
+	factory experiments.ControllerFactory) error {
+	seq, err := catalog.Get(req.Sequence)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	for _, req := range placed {
-		seq, err := catalog.Get(req.Sequence)
-		if err != nil {
-			return nil, err
-		}
-		src, err := video.NewGenerator(seq, rand.New(rand.NewSource(req.SourceSeed)))
-		if err != nil {
-			return nil, err
-		}
-		initial := experiments.InitialSettings(req.Res)
-		ctrl, err := factory(req.Res, initial, rand.New(rand.NewSource(req.ControllerSeed)))
-		if err != nil {
-			return nil, err
-		}
-		if _, err := eng.AddSession(transcode.SessionConfig{
-			Source:        src,
-			Controller:    ctrl,
-			Initial:       initial,
-			BandwidthMbps: req.BandwidthMbps,
-			TargetFPS:     cfg.Workload.TargetFPS,
-			FrameBudget:   req.Frames,
-			StartAtSec:    req.ArriveAtSec,
-			CollectTrace:  true,
-		}); err != nil {
-			return nil, err
-		}
+	src, err := video.NewGenerator(seq, rand.New(rand.NewSource(req.SourceSeed)))
+	if err != nil {
+		return err
 	}
-	return eng.Run()
+	initial := experiments.InitialSettings(req.Res)
+	ctrl, err := factory(req.Res, initial, rand.New(rand.NewSource(req.ControllerSeed)))
+	if err != nil {
+		return err
+	}
+	if _, err := fs.eng.AddSession(transcode.SessionConfig{
+		Source:        src,
+		Controller:    ctrl,
+		Initial:       initial,
+		BandwidthMbps: req.BandwidthMbps,
+		TargetFPS:     cfg.Workload.TargetFPS,
+		FrameBudget:   req.Frames,
+		StartAtSec:    req.ArriveAtSec,
+		CollectTrace:  true,
+	}); err != nil {
+		return err
+	}
+	if req.Res == video.HR {
+		fs.hr++
+	} else {
+		fs.lr++
+	}
+	return nil
 }
 
-// Run executes one service simulation: generate (or replay) the arrival
-// process, dispatch every arrival through the placement policy, simulate
-// each server's admitted sessions on its own engine (fanned out across
-// the worker pool), and aggregate steady-state service metrics over the
-// measurement window.
+// Run executes one service simulation as a single event-interleaved fleet:
+// the arrival process and every server's frame-level simulation advance on
+// one merged clock. Before each placement decision every engine is stepped
+// to the arrival instant, so departures at or before it — at their
+// *actual*, contention-stretched times — have already freed their slots,
+// and the policy decides from true occupancy. After the last arrival the
+// engines have no further interaction and drain to completion across the
+// worker pool; results are bit-identical for any worker count.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -350,9 +304,72 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	placements := dispatch(arrivals, pol, cfg, spec)
 
-	// One work unit per server with at least one admitted session.
+	budget := powerBudgetW(spec)
+	estW := map[video.Resolution]float64{
+		video.HR: estSessionPowerW(spec, video.HR),
+		video.LR: estSessionPowerW(spec, video.LR),
+	}
+	servers := make([]*fleetServer, cfg.Servers)
+	for i := range servers {
+		servers[i] = &fleetServer{}
+	}
+	states := make([]ServerState, cfg.Servers)
+	placements := make([]placement, 0, len(arrivals))
+	for _, req := range arrivals {
+		t := req.ArriveAtSec
+		// Interleave: step every engine to the arrival instant. Departure
+		// hooks fire along the way and release their slots.
+		for _, fs := range servers {
+			if fs.eng != nil {
+				if err := fs.eng.AdvanceTo(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for i, fs := range servers {
+			states[i] = ServerState{
+				Index:        i,
+				Active:       fs.hr + fs.lr,
+				HRActive:     fs.hr,
+				LRActive:     fs.lr,
+				MaxSessions:  cfg.MaxSessionsPerServer,
+				EstPowerW:    spec.IdlePowerW + float64(fs.hr)*estW[video.HR] + float64(fs.lr)*estW[video.LR],
+				EstArrivalW:  estW[req.Res],
+				PowerBudgetW: budget,
+			}
+		}
+		choice := pol.Place(req, states)
+		if choice < 0 || choice >= cfg.Servers || states[choice].Full() {
+			placements = append(placements, placement{req: req, server: -1})
+			continue
+		}
+		fs := servers[choice]
+		if fs.eng == nil {
+			eng, err := transcode.NewEngine(spec, model, experiments.SubSeed(cfg.Seed, "serve|server", choice))
+			if err != nil {
+				return nil, err
+			}
+			fs.eng = eng
+			eng.OnSessionEnd(func(end transcode.SessionEnd) {
+				if end.Res == video.HR {
+					fs.hr--
+				} else {
+					fs.lr--
+				}
+			})
+		}
+		if err := fs.addSession(req, cfg, catalog, factory); err != nil {
+			return nil, err
+		}
+		placements = append(placements, placement{req: req, server: choice})
+	}
+
+	// Tail: no placement decisions remain, so the loaded engines are
+	// independent and drain to completion across the worker pool.
+	// perServer[i] lists server i's admissions in placement order, which
+	// is also its engine's AddSession order — aggregate relies on that
+	// alignment.
 	perServer := make([][]SessionRequest, cfg.Servers)
 	for _, p := range placements {
 		if p.server >= 0 {
@@ -361,16 +378,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var units []experiments.Unit[*transcode.Result]
 	unitServer := make([]int, 0, cfg.Servers)
-	for i := 0; i < cfg.Servers; i++ {
-		if len(perServer[i]) == 0 {
+	for i, fs := range servers {
+		if fs.eng == nil {
 			continue
 		}
-		i := i
 		units = append(units, experiments.Unit[*transcode.Result]{
 			Label: fmt.Sprintf("server %d (%d sessions)", i, len(perServer[i])),
-			Run: func() (*transcode.Result, error) {
-				return runServer(i, perServer[i], cfg, spec, model, catalog, factory)
-			},
+			Run:   fs.eng.Run,
 		})
 		unitServer = append(unitServer, i)
 	}

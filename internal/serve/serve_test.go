@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mamut/internal/experiments"
+	"mamut/internal/platform"
 	"mamut/internal/video"
 )
 
@@ -195,6 +196,77 @@ func TestPowerAwareBeatsRoundRobinOnSLO(t *testing.T) {
 	if powRes.SLOAttainedPct <= rrRes.SLOAttainedPct {
 		t.Errorf("power-aware SLO attainment %.1f%% not above round-robin %.1f%%",
 			powRes.SLOAttainedPct, rrRes.SLOAttainedPct)
+	}
+}
+
+// TestActualDeparturesChangePlacement demonstrates the event-interleaved
+// dispatcher deciding differently from the old nominal-occupancy
+// approximation. On a deliberately tiny platform (one single-threaded
+// core) an HR session cannot reach the 24 FPS target, so its actual
+// lifetime stretches far past the nominal Frames/TargetFPS residency:
+//
+//   - A arrives at t=0 on server 0 with a 240-frame budget — nominally
+//     resident until t=10, actually until well past t=15;
+//   - B arrives at t=15. The nominal dispatcher would see server 0 free
+//     and (least-loaded breaking ties by index) place B there, doubling
+//     up on the struggling server; the event-interleaved dispatcher sees
+//     A still holding its slot and diverts B to server 1;
+//   - C arrives at t=16 with both servers truly occupied and is rejected,
+//     so the rejection metrics also reflect actual departures — the
+//     nominal view would have admitted it.
+func TestActualDeparturesChangePlacement(t *testing.T) {
+	tiny := platform.DefaultSpec()
+	tiny.Sockets = 1
+	tiny.CoresPerSocket = 1
+	tiny.ThreadsPerCore = 1
+	cfg := Config{
+		Servers:              2,
+		MaxSessionsPerServer: 1,
+		Policy:               PolicyLeastLoaded,
+		Approach:             experiments.Heuristic,
+		Spec:                 &tiny,
+		Workload: Workload{Trace: []SessionRequest{
+			{ArriveAtSec: 0, Sequence: "Cactus", Frames: 240},
+			{ArriveAtSec: 15, Sequence: "Cactus", Frames: 240},
+			{ArriveAtSec: 16, Sequence: "Cactus", Frames: 60},
+		}},
+		Seed:    21,
+		Workers: 1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := res.Sessions[0], res.Sessions[1], res.Sessions[2]
+	if a.Server != 0 {
+		t.Fatalf("A placed on server %d, want 0", a.Server)
+	}
+	// Premise: A's nominal residency ended before B arrived, its actual
+	// one did not.
+	nominalEnd := a.Req.ArriveAtSec + float64(a.Req.Frames)/cfg.Workload.withDefaults().TargetFPS
+	if nominalEnd >= b.Req.ArriveAtSec {
+		t.Fatalf("nominal end %.1fs not before B's arrival %.1fs; premise broken", nominalEnd, b.Req.ArriveAtSec)
+	}
+	if a.AvgFPS >= cfg.Workload.withDefaults().TargetFPS {
+		t.Fatalf("A averaged %.1f FPS on a single core; expected it stretched", a.AvgFPS)
+	}
+	// The divergent decision: nominal occupancy would put B on server 0.
+	if b.Server != 1 {
+		t.Errorf("B placed on server %d; actual occupancy should divert it to server 1", b.Server)
+	}
+	// And the rejection the nominal view would not have produced.
+	if c.Server != -1 {
+		t.Errorf("C admitted to server %d; both servers are actually occupied at t=16", c.Server)
+	}
+	if res.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", res.Rejected)
+	}
+	// Peak occupancy can no longer exceed the admission limit: admission
+	// is enforced on actual residency.
+	for _, sr := range res.Servers {
+		if sr.PeakActive > cfg.MaxSessionsPerServer {
+			t.Errorf("server %d peak %d exceeds admission limit %d", sr.Index, sr.PeakActive, cfg.MaxSessionsPerServer)
+		}
 	}
 }
 

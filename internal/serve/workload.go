@@ -7,11 +7,19 @@
 // management, digital-twin collaborative transcoding) studies, and the
 // foundation for sharding/balancing experiments at fleet scale.
 //
+// The fleet runs as one event-interleaved simulation: every server's
+// engine is stepped to each arrival instant before the placement
+// decision, and session departures are observed at their actual,
+// contention-stretched times through the engine's OnSessionEnd hook — not
+// approximated from nominal session lengths. SLO, rejection and
+// utilization metrics therefore reflect true occupancy.
+//
 // Everything is deterministic for a fixed seed: the arrival process, the
 // placement decisions and every per-server simulation derive their
-// randomness from experiments.SubSeed, and the per-server simulations fan
-// out across the experiments.RunUnits worker pool with bit-identical
-// results for any worker count.
+// randomness from experiments.SubSeed. The interleaved phase is
+// sequential by construction; once the last arrival is placed the engines
+// are independent and drain across the experiments.RunUnits worker pool,
+// so results are bit-identical for any worker count.
 package serve
 
 import (

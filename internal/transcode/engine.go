@@ -37,7 +37,9 @@ type SessionConfig struct {
 	FrameBudget int
 	// StartAtSec delays the session's arrival: it joins the contention
 	// pool at this simulated time (0 = present from the start). Models
-	// the paper's SV-C "users coming and going continuously".
+	// the paper's SV-C "users coming and going continuously". A session
+	// added while the simulation is already past this time joins
+	// immediately.
 	StartAtSec float64
 	// CollectTrace keeps every Observation in the session result.
 	CollectTrace bool
@@ -51,16 +53,23 @@ type session struct {
 	settings Settings
 
 	frameIdx   int
-	remaining  float64 // cycles left in the current frame
 	frameStart float64 // sim time the current frame began
 	curFrame   video.Frame
 	curPSNR    float64
 	curBits    float64
 
+	// Event-scheduler state. While a session is running it holds exactly
+	// one resident load in the engine's LoadAccount and exactly one
+	// pending completion event in the heap.
+	running bool
+	load    platform.SessionLoad
+	dynCoef float64 // DynPowerPerCoreW * V^2f-norm * speedup for this frame
+	vMark   float64 // virtual time the dynamic-energy integral was settled at
+
 	durations [fpsWindow]float64
 	nDur      int
 
-	done bool
+	done bool // departed (budget reached in stop mode)
 
 	// accumulators for the result
 	dynEnergyJ  float64
@@ -120,15 +129,54 @@ type Result struct {
 	Sessions []SessionResult
 }
 
+// SessionEnd is the departure notification delivered to the OnSessionEnd
+// hook when a session reaches its frame budget and releases its resources.
+type SessionEnd struct {
+	// SessionID is the departing session's engine id.
+	SessionID int
+	// Res is the stream's resolution class.
+	Res video.Resolution
+	// Time is the simulated departure time (the last frame's completion).
+	Time float64
+	// Frames is the number of frames the session transcoded.
+	Frames int
+}
+
 // Engine simulates a set of sessions sharing one server.
+//
+// The core is an indexed event scheduler: pending frame completions live
+// in a min-heap keyed by virtual service time (see events.go), the
+// platform's contention state is maintained incrementally in a
+// platform.LoadAccount, and per-session dynamic energy integrates lazily
+// against the virtual clock. One frame event therefore costs O(log n) in
+// the number of active sessions instead of the O(n) full-platform rescan
+// the linear core paid.
+//
+// The engine also supports a live session lifecycle: AddSession works
+// mid-run (including from an OnSessionEnd hook), AdvanceTo steps the
+// simulation to an absolute time so callers can interleave it with an
+// outer event loop (internal/serve interleaves a whole fleet this way),
+// and OnSessionEnd delivers explicit departure notifications.
 type Engine struct {
 	server   *platform.Server
 	model    hevc.Model
 	sessions []*session
 	rng      *rand.Rand
-	now      float64
+	now      float64 // real simulated time
+	vnow     float64 // virtual service time (integral of scale*throttle dt)
 	energy   float64
 	thermal  *platform.ThermalState
+	acct     *platform.LoadAccount
+	compl    eventHeap // pending completions keyed by virtual service time
+	arrivals eventHeap // pending arrivals keyed by real time
+	onEnd    func(SessionEnd)
+
+	totalBudget int // sum of frame budgets, for the livelock guard
+	framesDone  int // frames completed so far (catch-up frames included)
+	events      int
+	finished    bool // RunUntilAll completed; the live lifecycle is closed
+
+	batch []*session // scratch for completion batches
 }
 
 // NewEngine builds an engine over the given platform spec and encoder
@@ -143,7 +191,7 @@ func NewEngine(spec platform.Spec, model hevc.Model, seed int64) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{server: srv, model: model, rng: rng}
+	e := &Engine{server: srv, model: model, rng: rng, acct: srv.NewLoadAccount()}
 	if spec.Thermal.Enabled {
 		ts, err := platform.NewThermalState(spec.Thermal)
 		if err != nil {
@@ -157,7 +205,24 @@ func NewEngine(spec platform.Spec, model hevc.Model, seed int64) (*Engine, error
 // Server exposes the platform (used by controllers needing spec data).
 func (e *Engine) Server() *platform.Server { return e.server }
 
-// AddSession registers a session before Run. It returns the session id.
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// ActiveSessions returns the number of sessions currently holding
+// resources (arrived and not departed).
+func (e *Engine) ActiveSessions() int { return e.acct.Active() }
+
+// OnSessionEnd installs the departure hook. It fires when a session
+// reaches its frame budget and leaves (Run/AdvanceTo semantics; in
+// RunUntilAll nobody departs, so it never fires). The hook runs inside
+// the event loop: it may call AddSession, but must not call Run,
+// RunUntilAll or AdvanceTo. A nil hook disables notification.
+func (e *Engine) OnSessionEnd(fn func(SessionEnd)) { e.onEnd = fn }
+
+// AddSession registers a session and returns the session id. Before the
+// first Run/AdvanceTo call this is the classic batch setup; called
+// mid-run it is a live arrival — the session joins the contention pool at
+// StartAtSec, or immediately when that time has already passed.
 func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
 	if cfg.Source == nil {
 		return 0, fmt.Errorf("transcode: session needs a video source")
@@ -180,6 +245,12 @@ func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
 	if cfg.StartAtSec < 0 {
 		return 0, fmt.Errorf("transcode: negative start time %g", cfg.StartAtSec)
 	}
+	if e.finished {
+		return 0, errFinished
+	}
+	if cfg.StartAtSec < e.now {
+		cfg.StartAtSec = e.now
+	}
 	preset := hevc.PresetFor(cfg.Source.Res())
 	if cfg.Preset != nil {
 		preset = *cfg.Preset
@@ -196,121 +267,195 @@ func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
 		settings:    cfg.Initial,
 		firstAction: true,
 	})
+	e.arrivals.push(event{key: cfg.StartAtSec, id: id})
+	e.totalBudget += cfg.FrameBudget
 	return id, nil
 }
 
 // maxEventsPerFrame bounds the event loop against accidental livelock.
+// The budget scales with frames actually completed (not just the nominal
+// frame budgets), so RunUntilAll catch-up frames — which can dwarf the
+// budgets under skewed session speeds — never trip it spuriously.
 const maxEventsPerFrame = 64
 
 // Run simulates until every session exhausts its frame budget and returns
 // the aggregated result. A session that reaches its budget stops encoding
 // and releases its resources (the user left).
-func (e *Engine) Run() (*Result, error) { return e.run(false) }
+func (e *Engine) Run() (*Result, error) {
+	if len(e.sessions) == 0 {
+		return nil, fmt.Errorf("transcode: no sessions")
+	}
+	if e.finished {
+		return nil, errFinished
+	}
+	if err := e.advance(math.Inf(1), false); err != nil {
+		return nil, err
+	}
+	return e.buildResult(), nil
+}
+
+// errFinished guards the live lifecycle after a terminal RunUntilAll:
+// sessions past their budget are frozen mid-frame with their loads still
+// resident, so advancing or growing the simulation from that state would
+// silently distort contention and energy for any new session.
+var errFinished = fmt.Errorf("transcode: engine finished (RunUntilAll is terminal; build a new engine to continue)")
 
 // RunUntilAll simulates until every session has reached its frame budget,
 // but — unlike Run — sessions that reach their budget keep transcoding
 // until the last one catches up. This models a server whose streams
 // continue beyond the measurement window, so contention stays constant
 // and a measured window is never polluted by departed sessions.
-func (e *Engine) RunUntilAll() (*Result, error) { return e.run(true) }
-
-func (e *Engine) run(untilAll bool) (*Result, error) {
+//
+// RunUntilAll is terminal: it stops with every session frozen mid-frame
+// (loads resident, completions unscheduled), so the engine afterwards
+// rejects Run, AdvanceTo and AddSession. Calling RunUntilAll again just
+// returns the same result.
+func (e *Engine) RunUntilAll() (*Result, error) {
 	if len(e.sessions) == 0 {
 		return nil, fmt.Errorf("transcode: no sessions")
 	}
-	totalFrames := 0
-	for _, s := range e.sessions {
-		totalFrames += s.cfg.FrameBudget
+	if err := e.advance(math.Inf(1), true); err != nil {
+		return nil, err
 	}
-	maxEvents := totalFrames * maxEventsPerFrame
+	e.finished = true
+	return e.buildResult(), nil
+}
 
-	for events := 0; ; events++ {
-		if events > maxEvents {
-			return nil, fmt.Errorf("transcode: event budget exhausted (%d events)", maxEvents)
+// AdvanceTo steps the simulation to the given absolute time: every frame
+// completion, departure and arrival at or before it is processed, and the
+// clock (with its energy and thermal accounting) lands exactly on t. It
+// lets an outer event loop interleave this engine with other event
+// sources — other servers of a fleet, a dispatcher placing arrivals — and
+// observe actual session lifetimes as they happen. Times at or before the
+// current clock are a no-op.
+func (e *Engine) AdvanceTo(t float64) error {
+	if math.IsInf(t, 1) || math.IsNaN(t) {
+		return fmt.Errorf("transcode: AdvanceTo time must be finite")
+	}
+	if e.finished {
+		return errFinished
+	}
+	return e.advance(t, false)
+}
+
+// advance is the event loop: it processes events in time order until the
+// limit (exclusive of events strictly beyond it), then parks the clock at
+// the limit when finite.
+func (e *Engine) advance(limit float64, untilAll bool) error {
+	for {
+		if untilAll && e.allReachedBudget() {
+			return nil
+		}
+		// Throttle factor and contention scale for the next segment: both
+		// are uniform across sessions, so together they set the speed of
+		// the virtual clock.
+		f := 1.0
+		if e.thermal != nil && e.thermal.Throttled() {
+			f = e.thermal.ThrottleFactor()
+		}
+		speed := e.acct.Scale() * f
+		powerIdeal := e.server.Spec().IdlePowerW + e.acct.DynPowerW()*f
+
+		// Next event: the earliest pending frame completion or arrival.
+		tNext := math.Inf(1)
+		completion := false
+		if len(e.compl) > 0 {
+			if speed <= 0 {
+				return fmt.Errorf("transcode: no progress at t=%.3f", e.now)
+			}
+			dv := e.compl[0].key - e.vnow
+			if dv < 0 {
+				dv = 0
+			}
+			tNext = e.now + dv/speed
+			if tNext < e.now {
+				tNext = e.now
+			}
+			completion = true
+		}
+		if len(e.arrivals) > 0 && e.arrivals[0].key < tNext {
+			// A strictly earlier arrival preempts the completion; at equal
+			// times the completion is processed first and the arrival joins
+			// at the same instant on the next iteration.
+			tNext = e.arrivals[0].key
+			if tNext < e.now {
+				tNext = e.now
+			}
+			completion = false
+		}
+		if math.IsInf(tNext, 1) || tNext > limit {
+			// Nothing to process inside the limit: park the clock on it.
+			if !math.IsInf(limit, 1) && limit > e.now {
+				e.advanceClock(limit, powerIdeal, speed)
+			}
+			return nil
+		}
+
+		e.events++
+		if e.events > maxEventsPerFrame*(e.framesDone+e.totalBudget+len(e.sessions)+1) {
+			return fmt.Errorf("transcode: event budget exhausted (%d events for %d frames)", e.events, e.framesDone)
+		}
+
+		e.advanceClock(tNext, powerIdeal, speed)
+		if !completion {
+			// Process every arrival due now, in (time, id) order.
+			for len(e.arrivals) > 0 && e.arrivals[0].key <= e.now {
+				s := e.sessions[e.arrivals.pop().id]
+				if err := e.beginFrame(s); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+
+		// Land the virtual clock exactly on the completing key, then drain
+		// every completion due at it. The batch is popped in (key, id)
+		// order, which is id order within one instant.
+		e.vnow = e.compl[0].key
+		batch := e.batch[:0]
+		for len(e.compl) > 0 && e.compl[0].key <= e.vnow {
+			batch = append(batch, e.sessions[e.compl.pop().id])
+		}
+		// One meter reading per event, shared by the batch — the power of
+		// the interval that just elapsed, before any load changes below.
+		powerRead := e.server.MeterPower(powerIdeal)
+		for _, s := range batch {
+			e.completeFrame(s, powerRead)
 		}
 		if untilAll && e.allReachedBudget() {
-			break
+			e.batch = batch[:0]
+			return nil
 		}
-
-		// Start frames for any session that needs one.
-		active := e.startFrames(untilAll)
-		if len(active) == 0 {
-			// Nothing running: jump to the next arrival if one is
-			// pending, otherwise the run is complete.
-			if arrival := e.nextArrival(); !math.IsInf(arrival, 1) {
-				idle := e.server.Spec().IdlePowerW
-				e.energy += idle * (arrival - e.now)
-				if e.thermal != nil {
-					e.thermal.Advance(idle, arrival-e.now)
-				}
-				e.now = arrival
+		for _, s := range batch {
+			if !untilAll && s.frames >= s.cfg.FrameBudget {
+				e.depart(s)
 				continue
 			}
-			break
-		}
-
-		// Evaluate the platform for the current allocations.
-		loads := make([]platform.SessionLoad, len(active))
-		for i, s := range active {
-			loads[i] = platform.SessionLoad{
-				Threads: s.settings.Threads,
-				FreqGHz: s.settings.FreqGHz,
-				Speedup: s.enc.Speedup(s.settings.Threads),
+			if err := e.beginFrame(s); err != nil {
+				return err
 			}
 		}
-		snap, err := e.server.Evaluate(loads)
-		if err != nil {
-			return nil, fmt.Errorf("transcode: t=%.3f: %w", e.now, err)
-		}
-
-		// Thermal throttling scales service and dynamic power together
-		// while the package sits above the throttle point. The per-session
-		// dynamic-power shares must scale by the same factor, or the
-		// session energy accounting stops reconciling with package power.
-		if e.thermal != nil && e.thermal.Throttled() {
-			f := e.thermal.ThrottleFactor()
-			for i := range snap.Rates {
-				snap.Rates[i] *= f
-				snap.DynPowerW[i] *= f
-			}
-			idle := e.server.Spec().IdlePowerW
-			snap.PowerIdealW = idle + (snap.PowerIdealW-idle)*f
-			snap.PowerW = idle + (snap.PowerW-idle)*f
-		}
-
-		// Advance to the next frame completion or session arrival,
-		// whichever comes first.
-		dt := math.Inf(1)
-		for i, s := range active {
-			if t := s.remaining / snap.Rates[i]; t < dt {
-				dt = t
-			}
-		}
-		if arrival := e.nextArrival(); arrival-e.now < dt {
-			dt = arrival - e.now
-			if dt < 0 {
-				dt = 0
-			}
-		}
-		if math.IsInf(dt, 1) || dt < 0 {
-			return nil, fmt.Errorf("transcode: no progress at t=%.3f", e.now)
-		}
-		e.now += dt
-		e.energy += snap.PowerIdealW * dt
-		if e.thermal != nil {
-			e.thermal.Advance(snap.PowerIdealW, dt)
-		}
-
-		const eps = 1e-9
-		for i, s := range active {
-			s.remaining -= snap.Rates[i] * dt
-			s.dynEnergyJ += snap.DynPowerW[i] * dt
-			if s.remaining <= eps*snap.Rates[i] {
-				e.completeFrame(s, snap)
-			}
-		}
+		e.batch = batch[:0]
 	}
-	return e.buildResult(), nil
+}
+
+// advanceClock moves real time to t, integrating energy, the thermal
+// model and the virtual clock over the segment at the given (constant)
+// power and virtual speed.
+func (e *Engine) advanceClock(t, powerIdeal, speed float64) {
+	dt := t - e.now
+	if dt <= 0 {
+		e.now = t
+		return
+	}
+	e.energy += powerIdeal * dt
+	if e.thermal != nil {
+		e.thermal.Advance(powerIdeal, dt)
+	}
+	if len(e.compl) > 0 {
+		e.vnow += speed * dt
+	}
+	e.now = t
 }
 
 // allReachedBudget reports whether every session has transcoded at least
@@ -324,43 +469,10 @@ func (e *Engine) allReachedBudget() bool {
 	return true
 }
 
-// startFrames asks controllers for settings and pulls frames for sessions
-// between frames; it returns the sessions that are actively encoding. In
-// untilAll mode sessions run past their budget until everyone has reached
-// theirs.
-func (e *Engine) startFrames(untilAll bool) []*session {
-	var active []*session
-	for _, s := range e.sessions {
-		if s.done || s.cfg.StartAtSec > e.now {
-			continue
-		}
-		if s.remaining <= 0 { // needs a new frame
-			if !untilAll && s.frames >= s.cfg.FrameBudget {
-				s.done = true
-				continue
-			}
-			e.beginFrame(s)
-		}
-		active = append(active, s)
-	}
-	return active
-}
-
-// nextArrival returns the earliest pending session arrival strictly after
-// the current time, or +Inf when none is pending.
-func (e *Engine) nextArrival() float64 {
-	next := math.Inf(1)
-	for _, s := range e.sessions {
-		if !s.done && s.cfg.StartAtSec > e.now && s.cfg.StartAtSec < next {
-			next = s.cfg.StartAtSec
-		}
-	}
-	return next
-}
-
-// beginFrame consults the controller, applies validated settings and draws
-// the next frame's content and quality.
-func (e *Engine) beginFrame(s *session) {
+// beginFrame consults the controller, applies validated settings, draws
+// the next frame's content and quality, installs the session's load in
+// the contention account and schedules the completion event.
+func (e *Engine) beginFrame(s *session) error {
 	proposed := s.cfg.Controller.OnFrameStart(FrameStart{
 		SessionID:  s.id,
 		FrameIndex: s.frameIdx,
@@ -376,13 +488,48 @@ func (e *Engine) beginFrame(s *session) {
 		// produced an invalid frame, which is a programming error.
 		panic(err)
 	}
-	s.remaining = work
-	s.frameStart = e.now
 	psnr, bits, err := s.enc.FrameQuality(s.settings.QP, s.curFrame.Complexity)
 	if err != nil {
 		panic(err)
 	}
 	s.curPSNR, s.curBits = psnr, bits
+
+	load := platform.SessionLoad{
+		Threads: s.settings.Threads,
+		FreqGHz: s.settings.FreqGHz,
+		Speedup: s.enc.Speedup(s.settings.Threads),
+	}
+	if !s.running {
+		if err := e.acct.Add(load); err != nil {
+			return fmt.Errorf("transcode: t=%.3f session %d: %w", e.now, s.id, err)
+		}
+		s.running = true
+		s.load = load
+		s.dynCoef = e.dynCoef(load)
+	} else if load != s.load {
+		if err := e.acct.Update(s.load, load); err != nil {
+			return fmt.Errorf("transcode: t=%.3f session %d: %w", e.now, s.id, err)
+		}
+		s.load = load
+		s.dynCoef = e.dynCoef(load)
+	}
+	s.vMark = e.vnow
+	s.frameStart = e.now
+	e.compl.push(event{key: e.vnow + work/(load.FreqGHz*1e9*load.Speedup), id: s.id})
+	return nil
+}
+
+// dynCoef is the session's dynamic-power coefficient: its busy
+// core-equivalents weighted by V^2*f, so that instantaneous dynamic power
+// is dynCoef * scale * throttle and dynamic energy integrates as
+// dynCoef * (virtual time elapsed).
+func (e *Engine) dynCoef(l platform.SessionLoad) float64 {
+	vf, err := e.server.Spec().VFNorm(l.FreqGHz)
+	if err != nil {
+		// sanitize guarantees a ladder rung.
+		panic(err)
+	}
+	return e.server.Spec().DynPowerPerCoreW * vf * l.Speedup
 }
 
 // sanitize clamps controller output to what the hardware and encoder
@@ -404,8 +551,12 @@ func (e *Engine) sanitize(s *session, p Settings) Settings {
 	return p
 }
 
-// completeFrame books metrics and notifies the controller.
-func (e *Engine) completeFrame(s *session, snap platform.Snapshot) {
+// completeFrame settles the session's dynamic energy, books metrics and
+// notifies the controller.
+func (e *Engine) completeFrame(s *session, powerRead float64) {
+	s.dynEnergyJ += s.dynCoef * (e.vnow - s.vMark)
+	s.vMark = e.vnow
+
 	dur := e.now - s.frameStart
 	if dur <= 0 {
 		dur = 1e-9
@@ -432,8 +583,8 @@ func (e *Engine) completeFrame(s *session, snap platform.Snapshot) {
 		InstFPS:      1 / dur,
 		PSNRdB:       s.curPSNR,
 		BitrateMbps:  s.curBits * s.cfg.TargetFPS / 1e6,
-		PowerW:       snap.PowerW,
-		OverCap:      e.server.OverCap(snap.PowerW),
+		PowerW:       powerRead,
+		OverCap:      e.server.OverCap(powerRead),
 		Settings:     s.settings,
 		Complexity:   s.curFrame.Complexity,
 		SceneChange:  s.curFrame.SceneChange,
@@ -442,7 +593,7 @@ func (e *Engine) completeFrame(s *session, snap platform.Snapshot) {
 
 	s.frames++
 	s.frameIdx++
-	s.remaining = 0
+	e.framesDone++
 	if fps < s.cfg.TargetFPS {
 		s.violations++
 	}
@@ -458,6 +609,21 @@ func (e *Engine) completeFrame(s *session, snap platform.Snapshot) {
 	s.cfg.Controller.OnFrameDone(obs)
 }
 
+// depart releases a finished session's resources and notifies the hook.
+func (e *Engine) depart(s *session) {
+	e.acct.Remove(s.load)
+	s.running = false
+	s.done = true
+	if e.onEnd != nil {
+		e.onEnd(SessionEnd{
+			SessionID: s.id,
+			Res:       s.cfg.Source.Res(),
+			Time:      e.now,
+			Frames:    s.frames,
+		})
+	}
+}
+
 func (e *Engine) buildResult() *Result {
 	res := &Result{DurationSec: e.now, EnergyJ: e.energy}
 	if e.now > 0 {
@@ -468,13 +634,19 @@ func (e *Engine) buildResult() *Result {
 		res.TempAvgC = e.thermal.AvgC()
 	}
 	for _, s := range e.sessions {
+		dynE := s.dynEnergyJ
+		if s.running {
+			// Sessions still encoding (RunUntilAll tails, AdvanceTo
+			// snapshots) settle their in-flight frame's energy to now.
+			dynE += s.dynCoef * (e.vnow - s.vMark)
+		}
 		sr := SessionResult{
 			ID:         s.id,
 			Name:       s.cfg.Controller.Name(),
 			Res:        s.cfg.Source.Res(),
 			Frames:     s.frames,
 			Violations: s.violations,
-			DynEnergyJ: s.dynEnergyJ,
+			DynEnergyJ: dynE,
 			Trace:      s.trace,
 		}
 		if s.frames > 0 {

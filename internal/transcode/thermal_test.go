@@ -130,6 +130,76 @@ func TestEngineThrottledSessionEnergyReconciles(t *testing.T) {
 	}
 }
 
+// TestEngineThermalAccountsIdleGapArrival covers the idle-gap arrival
+// jump with the thermal model enabled: when the only session arrives
+// late, the engine must integrate idle power and the thermal RC model
+// across the gap, and the energy attribution must still reconcile.
+func TestEngineThermalAccountsIdleGapArrival(t *testing.T) {
+	const gap = 20.0
+	spec := thermalSpec() // thermal enabled, fast response, no throttle here
+	run := func(start float64) *Result {
+		eng, err := NewEngine(spec, quietModel(), 71)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := Settings{QP: 32, Threads: 4, FreqGHz: 2.6}
+		if _, err := eng.AddSession(SessionConfig{
+			Source: testSource(t, video.LR, 72), Controller: &Static{S: set},
+			Initial: set, FrameBudget: 200, StartAtSec: start, CollectTrace: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gapped := run(gap)
+	immediate := run(0)
+
+	// Energy across the jump: the gapped run costs exactly the idle
+	// lead-in more than the immediate one (the loaded part is identical).
+	idleLead := spec.IdlePowerW * gap
+	if diff := math.Abs(gapped.EnergyJ - (immediate.EnergyJ + idleLead)); diff > 1e-6*gapped.EnergyJ {
+		t.Errorf("energy across idle gap off by %.3f J (gapped %.1f, immediate %.1f + idle %.1f)",
+			diff, gapped.EnergyJ, immediate.EnergyJ, idleLead)
+	}
+	// And it still reconciles with the per-session attribution.
+	sessionDyn := gapped.Sessions[0].DynEnergyJ
+	packageDyn := gapped.EnergyJ - spec.IdlePowerW*gapped.DurationSec
+	if rel := math.Abs(sessionDyn-packageDyn) / packageDyn; rel > 1e-6 {
+		t.Errorf("idle-gap run: session dynamic energy %.2f J vs package %.2f J (rel %.2e)",
+			sessionDyn, packageDyn, rel)
+	}
+
+	// Temperature across the jump: the gap is integrated as one idle
+	// segment, so the package temperature at arrival must match the RC
+	// model advanced over it. With idle power at 50 W the package warms
+	// toward the idle steady state (~46.5C) during the gap — if the
+	// engine skipped thermal accounting across the jump, the load plateau
+	// would start from ambient and never reach that temperature in this
+	// short run.
+	tsRef, err := platform.NewThermalState(spec.Thermal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsRef.Advance(spec.IdlePowerW, gap)
+	arrivalTemp := tsRef.TempC()
+	if gapped.TempMaxC < arrivalTemp-1e-9 {
+		t.Errorf("gapped peak %.2fC below the idle-warmed arrival temperature %.2fC: thermal state lost across the jump",
+			gapped.TempMaxC, arrivalTemp)
+	}
+	if gapped.TempMaxC < immediate.TempMaxC-0.1 {
+		t.Errorf("gapped peak %.2fC below immediate peak %.2fC despite warm start",
+			gapped.TempMaxC, immediate.TempMaxC)
+	}
+	if gapped.TempAvgC <= spec.Thermal.AmbientC || gapped.TempAvgC > gapped.TempMaxC {
+		t.Errorf("gapped avg %.2fC outside (ambient %.1fC, max %.2fC]",
+			gapped.TempAvgC, spec.Thermal.AmbientC, gapped.TempMaxC)
+	}
+}
+
 func TestEngineRejectsInvalidThermalSpec(t *testing.T) {
 	s := quietSpec()
 	s.Thermal = platform.DefaultThermalSpec()

@@ -122,6 +122,10 @@ type StreamResult = transcode.SessionResult
 // SimulationResult is the outcome of Run.
 type SimulationResult = transcode.Result
 
+// StreamEnd is the departure notification delivered to an OnStreamEnd
+// hook when a stream finishes its frame budget and leaves the server.
+type StreamEnd = transcode.SessionEnd
+
 // Simulation assembles streams on one simulated server.
 type Simulation struct {
 	eng     *transcode.Engine
@@ -154,7 +158,10 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	return &Simulation{eng: eng, catalog: catalog, spec: spec, model: model, rng: rng}, nil
 }
 
-// AddStream registers one transcoding request before Run.
+// AddStream registers one transcoding request. It may also be called
+// while the simulation is running — from between AdvanceTo steps or from
+// an OnStreamEnd hook — as a live arrival: the stream then joins at
+// StartAtSec, or immediately when that time has already passed.
 func (s *Simulation) AddStream(cfg StreamConfig) error {
 	if cfg.Sequence == "" {
 		return fmt.Errorf("mamut: stream needs a sequence name")
@@ -212,11 +219,31 @@ func (s *Simulation) newController(a Approach, res Resolution) (Controller, erro
 // Streams returns the number of registered streams.
 func (s *Simulation) Streams() int { return s.streams }
 
+// ActiveStreams returns the number of streams currently holding server
+// resources (arrived and not yet departed).
+func (s *Simulation) ActiveStreams() int { return s.eng.ActiveSessions() }
+
+// Now returns the current simulated time.
+func (s *Simulation) Now() float64 { return s.eng.Now() }
+
+// OnStreamEnd installs a hook that fires when a stream reaches its frame
+// budget and departs. The hook runs inside the event loop; it may call
+// AddStream (continuous churn), but not Run/RunUntilAll/AdvanceTo.
+func (s *Simulation) OnStreamEnd(fn func(StreamEnd)) { s.eng.OnSessionEnd(fn) }
+
+// AdvanceTo steps the simulation to the given absolute time, processing
+// every frame completion, departure and arrival at or before it. It lets
+// callers interleave the simulation with an outer event loop; Run picks
+// up from wherever the clock stands.
+func (s *Simulation) AdvanceTo(t float64) error { return s.eng.AdvanceTo(t) }
+
 // Run simulates until every stream finishes its frame budget.
 func (s *Simulation) Run() (*SimulationResult, error) { return s.eng.Run() }
 
 // RunUntilAll simulates with all streams kept busy until the slowest one
-// reaches its budget (constant contention; see transcode.RunUntilAll).
+// reaches its budget (constant contention; see transcode.RunUntilAll). It
+// is terminal: afterwards the simulation rejects Run, AdvanceTo and
+// AddStream — build a new Simulation to continue.
 func (s *Simulation) RunUntilAll() (*SimulationResult, error) { return s.eng.RunUntilAll() }
 
 // Experiment re-exports: the full harness that regenerates the paper's
