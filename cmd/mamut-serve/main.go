@@ -9,10 +9,19 @@
 // reflect true occupancy rather than nominal session lengths. Output is
 // byte-identical for a fixed seed, regardless of -workers.
 //
+// With -knowledge the fleet shares learned transcoding knowledge across
+// sessions (KaaS-style warm starts): departing MAMUT sessions contribute
+// their Q-tables to a per-resolution-class knowledge base and new
+// admissions are seeded from it, so short-lived sessions skip straight
+// past exploration. Knowledge folds in arrival-ID order at the
+// event-interleaved departure instants, so output stays byte-identical
+// for any -workers count.
+//
 // Usage:
 //
 //	mamut-serve -servers 4 -arrival-rate 0.5 -policy power -duration 600
 //	mamut-serve -servers 2 -arrival-rate 0.3 -curve diurnal -format csv
+//	mamut-serve -servers 2 -arrival-rate 0.4 -mean-session 15 -knowledge
 //	mamut-serve -servers 2 -policies round-robin,least-loaded,power \
 //	    -rates 0.2,0.4,0.8 -seeds 1,2,3        # (policy x rate x seed) grid
 package main
@@ -44,6 +53,7 @@ func main() {
 		amplitude = flag.Float64("amplitude", 0.5, "diurnal modulation depth in [0,1)")
 		rampTo    = flag.Float64("ramp-factor", 2, "ramp: final/base arrival-rate ratio")
 		slo       = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
+		knowledge = flag.Bool("knowledge", false, "share learned knowledge across sessions (KaaS-style warm starts; mamut approach only)")
 		format    = flag.String("format", "summary", "output format for single runs: summary|csv")
 		policies  = flag.String("policies", "", "grid mode: comma-separated policies (with -rates/-seeds)")
 		rates     = flag.String("rates", "", "grid mode: comma-separated arrival rates")
@@ -86,10 +96,11 @@ func main() {
 			CurveAmplitude: *amplitude,
 			RampEndFactor:  *rampTo,
 		},
-		WarmupSec:    *warmup,
-		SLOFPSFactor: *slo,
-		Seed:         *seed,
-		Workers:      *workers,
+		WarmupSec:      *warmup,
+		SLOFPSFactor:   *slo,
+		KnowledgeReuse: *knowledge,
+		Seed:           *seed,
+		Workers:        *workers,
 	}
 
 	if *policies != "" || *rates != "" || *seeds != "" {
@@ -158,6 +169,10 @@ func printSummary(cfg mamut.ServeConfig, r *mamut.ServeResult) {
 		r.MeasuredRejected, r.MeasuredOffered, r.MeasuredRejectionPct)
 	fmt.Printf("SLO (avg FPS >= %.0f%% of target): %.1f%% of %d measured sessions\n",
 		100*cfg.SLOFPSFactor, r.SLOAttainedPct, r.Measured)
+	if cfg.KnowledgeReuse {
+		fmt.Printf("knowledge: %d departed sessions contributed, %d admissions warm-started\n",
+			r.KnowledgeContributions, r.KnowledgeSeeded)
+	}
 	for _, cls := range []struct {
 		name  string
 		stats mamut.ServeClassStats

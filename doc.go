@@ -74,6 +74,35 @@
 // engines drain across the experiment scheduler's worker pool; results
 // are bit-identical for any worker count.
 //
+// # Cross-session knowledge reuse
+//
+// Short-lived sessions are where a real transcoding service lives — and
+// where from-scratch Q-learning fails: a 60-second session (~1440
+// frames) barely finishes exploring. With ServeConfig.KnowledgeReuse
+// the fleet shares learned knowledge across sessions, following the
+// paper's KaaS follow-up line of work: when a session departs during
+// the arrival phase, its three agents' Q-tables, visit counts and
+// transition models are folded into a per-resolution-class
+// KnowledgeStore with count-weighted averaging, and every later
+// admission seeds its fresh controller from the accumulated snapshot.
+// The eq. (3) learning-rate machinery then does the rest — states whose
+// pooled visit counts push every action's learning rate below the phase
+// thresholds start directly in exploitation, so warm sessions spend
+// their short lives applying learned settings instead of re-exploring.
+//
+// Knowledge folding is deterministic by construction: contributions
+// fold in arrival-ID order at the event-interleaved departure instants
+// (pinning the floating-point fold sequence), and departures during the
+// post-arrival drain phase are never folded — no admission could
+// observe them, and excluding them keeps the drain embarrassingly
+// parallel, so knowledge-reuse runs stay bit-identical for any worker
+// count. Warm-started sessions contribute deltas — the seed-time counts
+// are subtracted at harvest, so the pool grows linearly with genuinely
+// gathered experience instead of re-compounding the seed each
+// generation. Warm starts apply only to the MAMUT approach (the
+// baselines have no tables worth sharing); classes without a prior
+// departure start cold.
+//
 // # Quick start
 //
 //	sim, err := mamut.NewSimulation(mamut.SimulationConfig{Seed: 1})

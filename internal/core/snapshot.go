@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mamut/internal/rl"
+	"mamut/internal/transcode"
+)
+
+// Snapshot is the portable learned state of one MAMUT controller: the
+// three agents' Q-tables, visit counts and transition models. It is the
+// unit of cross-session knowledge reuse (the KaaS regime): departing
+// sessions export snapshots, a knowledge base folds them together with
+// rl.Snapshot.Merge, and NewWarm seeds fresh controllers from the
+// accumulated state so well-observed states start past exploration.
+type Snapshot struct {
+	// Agents holds one rl.Snapshot per agent, indexed by AgentKind.
+	Agents [3]rl.Snapshot
+}
+
+// Snapshot exports a deep copy of the controller's current learning
+// state. A pending (not yet finalized) Q-update is not included — for a
+// departed session that is at most one in-flight action.
+func (c *Controller) Snapshot() Snapshot {
+	var sn Snapshot
+	for k := AgentQP; k < numAgents; k++ {
+		sn.Agents[k] = c.agents[k].learner.Snapshot()
+	}
+	return sn
+}
+
+// Validate reports whether all three agent snapshots are structurally
+// sound.
+func (sn Snapshot) Validate() error {
+	for k := AgentQP; k < numAgents; k++ {
+		if err := sn.Agents[k].Validate(); err != nil {
+			return fmt.Errorf("core: snapshot agent %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the snapshot.
+func (sn Snapshot) Clone() Snapshot {
+	var cp Snapshot
+	for k := AgentQP; k < numAgents; k++ {
+		cp.Agents[k] = sn.Agents[k].Clone()
+	}
+	return cp
+}
+
+// Merge folds other into the receiver agent-wise with count-weighted
+// averaging (see rl.Snapshot.Merge). Every agent's compatibility is
+// checked before any agent is mutated, so a failed merge leaves the
+// receiver untouched. Merging is deterministic for a fixed fold order;
+// callers needing bit-identical results must fold contributions in a
+// fixed order.
+func (sn *Snapshot) Merge(other Snapshot) error {
+	for k := AgentQP; k < numAgents; k++ {
+		if err := sn.Agents[k].Compatible(other.Agents[k]); err != nil {
+			return fmt.Errorf("core: merge agent %v: %w", k, err)
+		}
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		if err := sn.Agents[k].Merge(other.Agents[k]); err != nil {
+			return fmt.Errorf("core: merge agent %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// SubtractCounts removes base's visit and transition counts agent-wise,
+// leaving the Q values untouched (see rl.Snapshot.SubtractCounts): it
+// reduces a departing warm-started session's snapshot to the session's
+// own experience, excluding the seeded mass. Compatibility is checked
+// for every agent before any agent is mutated.
+func (sn *Snapshot) SubtractCounts(base Snapshot) error {
+	for k := AgentQP; k < numAgents; k++ {
+		if err := sn.Agents[k].Compatible(base.Agents[k]); err != nil {
+			return fmt.Errorf("core: subtract agent %v: %w", k, err)
+		}
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		if err := sn.Agents[k].SubtractCounts(base.Agents[k]); err != nil {
+			return fmt.Errorf("core: subtract agent %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// NewWarm builds a MAMUT controller like New and, when snap is non-nil,
+// seeds all three agents from the snapshot before the first frame. The
+// eq. (3) learning-rate/phase machinery then takes over: states whose
+// folded visit counts push every action's alpha below the thresholds
+// start directly in explore-exploit or exploitation, skipping the random
+// exploration a cold-started session would spend most of a short
+// lifetime in. A nil snap is exactly New (cold start). The snapshot's
+// table dimensions must match the configuration's action sets.
+func NewWarm(cfg Config, initial transcode.Settings, rng *rand.Rand, snap *Snapshot) (*Controller, error) {
+	c, err := New(cfg, initial, rng)
+	if err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return c, nil
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		if err := c.agents[k].learner.Seed(snap.Agents[k]); err != nil {
+			return nil, fmt.Errorf("core: warm start agent %v: %w", k, err)
+		}
+	}
+	return c, nil
+}

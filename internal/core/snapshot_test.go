@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mamut/internal/rl"
+	"mamut/internal/transcode"
+)
+
+// trainState drives enough direct learner updates through every agent of
+// c that state s reaches the exploitation phase: each action of each
+// agent is visited `visits` times, so both eq. (3) terms drop below the
+// thresholds once the per-action totals accumulate.
+func trainState(c *Controller, s, visits int) {
+	for k := AgentQP; k < numAgents; k++ {
+		l := c.Learner(k)
+		for a := 0; a < l.Config().Actions; a++ {
+			for i := 0; i < visits; i++ {
+				l.Update(s, a, s, 0.5, 0)
+			}
+		}
+	}
+}
+
+func TestWarmControllerSkipsExploration(t *testing.T) {
+	donor := testController(t, 1)
+	const state = 42
+	trainState(donor, state, 20)
+
+	// Premise: the trained state is in exploitation on the donor.
+	for k := AgentQP; k < numAgents; k++ {
+		other := donor.otherMinSum(k)
+		if got := donor.Learner(k).PhaseFor(state, other); got != rl.Exploitation {
+			t.Fatalf("donor agent %v phase %v, want exploitation", k, got)
+		}
+	}
+
+	sn := donor.Snapshot()
+	if err := sn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewWarm(testConfig(), transcode.Settings{QP: 32, Threads: 6, FreqGHz: 2.6},
+		rand.New(rand.NewSource(2)), &sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		other := warm.otherMinSum(k)
+		if got := warm.Learner(k).PhaseFor(state, other); got != rl.Exploitation {
+			t.Errorf("warm agent %v phase %v, want exploitation", k, got)
+		}
+		// An untrained state still explores: warm starts are per-state.
+		if got := warm.Learner(k).PhaseFor(0, 0); got != rl.Exploration {
+			t.Errorf("warm agent %v untrained-state phase %v, want exploration", k, got)
+		}
+		if got, want := warm.Learner(k).Q.Get(state, 0), donor.Learner(k).Q.Get(state, 0); got != want {
+			t.Errorf("warm agent %v Q = %g, want %g", k, got, want)
+		}
+	}
+
+	// A nil snapshot is a cold start.
+	cold, err := NewWarm(testConfig(), transcode.Settings{QP: 32, Threads: 6, FreqGHz: 2.6},
+		rand.New(rand.NewSource(3)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.Learner(AgentQP).PhaseFor(state, 0); got != rl.Exploration {
+		t.Errorf("cold controller phase %v, want exploration", got)
+	}
+}
+
+func TestWarmControllerDimensionMismatch(t *testing.T) {
+	donor := testController(t, 1)
+	sn := donor.Snapshot()
+	cfg := testConfig()
+	cfg.ThreadValues = cfg.ThreadValues[:5] // LR-sized action set vs HR snapshot
+	if _, err := NewWarm(cfg, transcode.Settings{QP: 32, Threads: 3, FreqGHz: 2.6},
+		rand.New(rand.NewSource(2)), &sn); err == nil {
+		t.Error("mismatched snapshot accepted by NewWarm")
+	}
+}
+
+func TestControllerSnapshotMerge(t *testing.T) {
+	a := testController(t, 1)
+	b := testController(t, 2)
+	trainState(a, 10, 4)
+	trainState(b, 10, 2)
+	trainState(b, 11, 3)
+
+	sn := a.Snapshot()
+	if err := sn.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		actions := a.Learner(k).Config().Actions
+		for _, s := range []int{10, 11} {
+			for act := 0; act < actions; act++ {
+				want := a.Learner(k).Visits.Num(s, act) + b.Learner(k).Visits.Num(s, act)
+				if got := sn.Agents[k].VisitsSA[s*actions+act]; got != want {
+					t.Errorf("agent %v Num(%d,%d) = %d, want %d", k, s, act, got, want)
+				}
+			}
+		}
+	}
+
+	// Snapshot is a deep copy of the donor.
+	sn.Agents[AgentQP].Q[0] = 1e9
+	if a.Learner(AgentQP).Q.Get(0, 0) == 1e9 {
+		t.Error("snapshot aliases the controller's tables")
+	}
+}

@@ -6,12 +6,19 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"mamut/internal/transcode"
 )
+
+// ErrNoSamples reports that TimeWeightedPower had no power readings to
+// integrate over the requested window. Callers can treat it as "the
+// server was idle over the window" (falling back to idle power) while
+// still propagating every other error, which signals a caller bug.
+var ErrNoSamples = errors.New("metrics: no power samples")
 
 // SessionSummary aggregates one session's observations over a window.
 type SessionSummary struct {
@@ -87,7 +94,7 @@ func TimeWeightedPower(traces [][]transcode.Observation, from, to float64) (floa
 		}
 	}
 	if len(samples) == 0 {
-		return 0, fmt.Errorf("metrics: no samples")
+		return 0, fmt.Errorf("%w in [%g,%g]", ErrNoSamples, from, to)
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i].t < samples[j].t })
 
@@ -122,7 +129,7 @@ func TimeWeightedPower(traces [][]transcode.Observation, from, to float64) (floa
 		}
 	}
 	if covered <= 0 {
-		return 0, fmt.Errorf("metrics: interval [%g,%g] not covered by samples", from, to)
+		return 0, fmt.Errorf("%w: interval [%g,%g] not covered", ErrNoSamples, from, to)
 	}
 	return energy / covered, nil
 }

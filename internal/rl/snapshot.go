@@ -1,0 +1,229 @@
+package rl
+
+import "fmt"
+
+// Snapshot is the portable learned state of one Learner: the Q-table,
+// the Num(s,a) visit counts and the empirical transition counts. It is
+// the unit of cross-session knowledge reuse — a departing transcoding
+// session exports its snapshot, snapshots fold together with
+// count-weighted averaging (Merge), and a fresh learner absorbs the
+// accumulated knowledge (Learner.Seed) so its well-observed states start
+// past exploration under the eq. (3) learning-rate thresholds.
+type Snapshot struct {
+	// States and Actions are the table dimensions.
+	States, Actions int
+	// Q is the dense Q-table, row-major [state][action].
+	Q []float64
+	// VisitsSA is the dense Num(s,a) table; VisitsAction the per-action
+	// totals Num(a).
+	VisitsSA     []int
+	VisitsAction []int
+	// Trans holds the sparse transition counts: Trans[s*Actions+a][next]
+	// is the number of observed s --a--> next transitions (nil maps for
+	// never-taken pairs).
+	Trans []map[int]int
+}
+
+// Snapshot exports a deep copy of the learner's current learning state.
+func (l *Learner) Snapshot() Snapshot {
+	sn := Snapshot{
+		States:       l.cfg.States,
+		Actions:      l.cfg.Actions,
+		Q:            append([]float64(nil), l.Q.q...),
+		VisitsSA:     append([]int(nil), l.Visits.sa...),
+		VisitsAction: append([]int(nil), l.Visits.perAction...),
+		Trans:        make([]map[int]int, len(l.Trans.counts)),
+	}
+	for i, m := range l.Trans.counts {
+		if m == nil {
+			continue
+		}
+		cp := make(map[int]int, len(m))
+		for next, n := range m {
+			cp[next] = n
+		}
+		sn.Trans[i] = cp
+	}
+	return sn
+}
+
+// checkShape verifies the table sizes against the dimensions — the O(1)
+// structural half of Validate, cheap enough to run on every fold.
+func (sn Snapshot) checkShape() error {
+	if sn.States < 1 || sn.Actions < 1 {
+		return fmt.Errorf("rl: snapshot dimensions %dx%d invalid", sn.States, sn.Actions)
+	}
+	n := sn.States * sn.Actions
+	if len(sn.Q) != n || len(sn.VisitsSA) != n || len(sn.VisitsAction) != sn.Actions || len(sn.Trans) != n {
+		return fmt.Errorf("rl: snapshot table sizes do not match dimensions %dx%d", sn.States, sn.Actions)
+	}
+	return nil
+}
+
+// Validate reports whether the snapshot is structurally sound, including
+// a full scan of the transition counts. Snapshots produced by
+// Learner.Snapshot are valid by construction; run Validate on snapshots
+// crossing a trust boundary (deserialised, externally assembled) — the
+// fold operations themselves only re-check shape and dimensions.
+func (sn Snapshot) Validate() error {
+	if err := sn.checkShape(); err != nil {
+		return err
+	}
+	for i, m := range sn.Trans {
+		for next, c := range m {
+			if next < 0 || next >= sn.States || c < 1 {
+				return fmt.Errorf("rl: snapshot transition (%d -> %d, count %d) invalid", i, next, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Compatible reports whether other has the receiver's shape and
+// dimensions, i.e. whether the two snapshots can fold together. It never
+// mutates either side, so callers folding multi-part state (e.g. one
+// snapshot per agent) can pre-check every part before mutating any.
+func (sn Snapshot) Compatible(other Snapshot) error {
+	if err := sn.checkShape(); err != nil {
+		return err
+	}
+	if err := other.checkShape(); err != nil {
+		return err
+	}
+	if sn.States != other.States || sn.Actions != other.Actions {
+		return fmt.Errorf("rl: snapshot dimensions %dx%d vs %dx%d", sn.States, sn.Actions, other.States, other.Actions)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the snapshot.
+func (sn Snapshot) Clone() Snapshot {
+	cp := Snapshot{
+		States:       sn.States,
+		Actions:      sn.Actions,
+		Q:            append([]float64(nil), sn.Q...),
+		VisitsSA:     append([]int(nil), sn.VisitsSA...),
+		VisitsAction: append([]int(nil), sn.VisitsAction...),
+		Trans:        make([]map[int]int, len(sn.Trans)),
+	}
+	for i, m := range sn.Trans {
+		if m == nil {
+			continue
+		}
+		mc := make(map[int]int, len(m))
+		for next, n := range m {
+			mc[next] = n
+		}
+		cp.Trans[i] = mc
+	}
+	return cp
+}
+
+// foldFrom applies the count-weighted fold of src into the destination
+// views: every Q value becomes the visit-count-weighted mean of the two
+// sides (one-sided visits adopt the visited value exactly, with no
+// floating-point round-trip), visit counts add, and transition counts
+// add. totals, when non-nil, receives the per-pair transition-count
+// increments (the Learner's Transitions keeps a totals cache; a bare
+// Snapshot does not). The shapes must already be checked.
+func foldFrom(q []float64, visitsSA, visitsAction []int, trans []map[int]int, totals []int, src Snapshot) {
+	for i := range q {
+		nd, ns := visitsSA[i], src.VisitsSA[i]
+		switch {
+		case ns == 0:
+		case nd == 0:
+			q[i] = src.Q[i]
+		default:
+			q[i] = (float64(nd)*q[i] + float64(ns)*src.Q[i]) / float64(nd+ns)
+		}
+		visitsSA[i] = nd + ns
+	}
+	for a := range visitsAction {
+		visitsAction[a] += src.VisitsAction[a]
+	}
+	for i, m := range src.Trans {
+		if len(m) == 0 {
+			continue
+		}
+		if trans[i] == nil {
+			trans[i] = make(map[int]int, len(m))
+		}
+		for next, n := range m {
+			trans[i][next] += n
+			if totals != nil {
+				totals[i] += n
+			}
+		}
+	}
+}
+
+// Merge folds other into the receiver with count-weighted averaging:
+// every Q(s,a) becomes the visit-count-weighted mean of the two tables'
+// values, visit counts add, and transition counts add. A pair unvisited
+// on both sides keeps the receiver's (zero) value. The receiver is only
+// mutated after the compatibility check passes. Merging is exact on
+// counts and deterministic on Q for a fixed fold order; callers that
+// need bit-identical results across runs must fold contributions in a
+// fixed order (floating-point averaging does not commute).
+func (sn *Snapshot) Merge(other Snapshot) error {
+	if err := sn.Compatible(other); err != nil {
+		return err
+	}
+	foldFrom(sn.Q, sn.VisitsSA, sn.VisitsAction, sn.Trans, nil, other)
+	return nil
+}
+
+// SubtractCounts removes base's visit and transition counts from the
+// snapshot, leaving the Q values untouched. This turns a departing
+// warm-started session's snapshot into its own *contribution*: the
+// session's final Q estimates weighted by only the experience it
+// gathered itself, excluding the mass it was seeded with — re-merging
+// the seed's counts on every departure would double the shared pool per
+// generation (exponential growth, eventually overflowing the counts)
+// and drown new experience under recycled old mass. base must be a
+// prefix of the snapshot's history (counts can only have grown since
+// seeding); a negative residual count is an error.
+func (sn *Snapshot) SubtractCounts(base Snapshot) error {
+	if err := sn.Compatible(base); err != nil {
+		return err
+	}
+	for i := range sn.VisitsSA {
+		if sn.VisitsSA[i] -= base.VisitsSA[i]; sn.VisitsSA[i] < 0 {
+			return fmt.Errorf("rl: subtract pair %d: %d visits below base", i, sn.VisitsSA[i])
+		}
+	}
+	for a := range sn.VisitsAction {
+		if sn.VisitsAction[a] -= base.VisitsAction[a]; sn.VisitsAction[a] < 0 {
+			return fmt.Errorf("rl: subtract action %d: %d visits below base", a, sn.VisitsAction[a])
+		}
+	}
+	for i, m := range base.Trans {
+		for next, n := range m {
+			cur := sn.Trans[i][next] - n
+			switch {
+			case cur < 0:
+				return fmt.Errorf("rl: subtract transition (%d -> %d): count %d below base", i, next, cur+n)
+			case cur == 0:
+				delete(sn.Trans[i], next)
+			default:
+				sn.Trans[i][next] = cur
+			}
+		}
+	}
+	return nil
+}
+
+// Seed folds a snapshot into the learner with the same count-weighted
+// averaging as Snapshot.Merge. On a fresh (zero-count) learner this
+// installs the snapshot verbatim, so states the snapshot has explored
+// past the alpha thresholds start directly in the later learning phases;
+// on a partially trained learner the two states average by visit weight.
+func (l *Learner) Seed(sn Snapshot) error {
+	self := Snapshot{States: l.cfg.States, Actions: l.cfg.Actions,
+		Q: l.Q.q, VisitsSA: l.Visits.sa, VisitsAction: l.Visits.perAction, Trans: l.Trans.counts}
+	if err := self.Compatible(sn); err != nil {
+		return fmt.Errorf("rl: seed: %w", err)
+	}
+	foldFrom(l.Q.q, l.Visits.sa, l.Visits.perAction, l.Trans.counts, l.Trans.totals, sn)
+	return nil
+}

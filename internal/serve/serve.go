@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"mamut/internal/core"
 	"mamut/internal/experiments"
 	"mamut/internal/hevc"
 	"mamut/internal/metrics"
@@ -43,6 +45,16 @@ type Config struct {
 	PolicyFactory func() Policy
 	// Approach selects the per-session controller. MAMUT when empty.
 	Approach experiments.Approach
+	// KnowledgeReuse enables cross-session knowledge sharing (KaaS-style
+	// warm starts): a per-resolution-class KnowledgeStore harvests the
+	// learned state of every session that departs during the arrival
+	// phase and seeds each new admission from it, so short-lived sessions
+	// skip past exploration for states the service has already learned.
+	// Requires the MAMUT approach. Results stay bit-identical for any
+	// Workers count: contributions fold in arrival-ID order at the
+	// event-interleaved departure instants, and drain-phase departures
+	// (after the last arrival) never affect an admission.
+	KnowledgeReuse bool
 	// Workload is the offered load.
 	Workload Workload
 	// WarmupSec starts the measurement window: sessions arriving before
@@ -148,6 +160,13 @@ type Result struct {
 	HR, LR ClassStats
 	// FleetAvgPowerW is the mean per-server window power.
 	FleetAvgPowerW float64
+	// KnowledgeContributions and KnowledgeSeeded report the knowledge
+	// store's activity when Config.KnowledgeReuse was on (zero
+	// otherwise): sessions whose learned state was folded into the store
+	// during the arrival phase, and admissions seeded from at least one
+	// prior contribution (warm starts).
+	KnowledgeContributions int
+	KnowledgeSeeded        int
 	// Servers holds one entry per server, in index order.
 	Servers []ServerResult
 	// Sessions holds one entry per arrival, in arrival order.
@@ -201,8 +220,17 @@ func (c Config) Validate() error {
 	if c.SLOFPSFactor < 0 {
 		return fmt.Errorf("serve: negative SLO factor %g", c.SLOFPSFactor)
 	}
+	if c.SLOFPSFactor > 1 {
+		// Controllers regulate *around* the target frame rate, so a
+		// factor above 1 demands a sustained average beyond the target —
+		// an unattainable SLO that silently zeroes SLOAttainedPct.
+		return fmt.Errorf("serve: SLO factor %g > 1 is unattainable (sessions regulate around the target FPS)", c.SLOFPSFactor)
+	}
 	if c.Workers < 0 {
 		return fmt.Errorf("serve: workers %d < 0", c.Workers)
+	}
+	if c.KnowledgeReuse && c.Approach != experiments.MAMUT {
+		return fmt.Errorf("serve: knowledge reuse requires the %s approach, got %q", experiments.MAMUT, c.Approach)
 	}
 	return nil
 }
@@ -221,13 +249,40 @@ type placement struct {
 type fleetServer struct {
 	eng    *transcode.Engine
 	hr, lr int
+
+	// Knowledge harvest (knowledge reuse only). harvest maps the engine
+	// session id of every resident MAMUT session to its contribution
+	// identity; the departure hook moves entries to pending, and the
+	// dispatcher folds pending into the store — sorted by arrival ID
+	// across the whole fleet — at the next arrival instant. draining is
+	// set before the post-arrival drain: drain departures are not
+	// harvested (no admission can observe them), which keeps the drained
+	// engines independent and the output identical for any worker count.
+	harvest  map[int]harvestEntry
+	pending  []harvestEntry
+	draining bool
+}
+
+// harvestEntry identifies one future knowledge contribution. seeded is
+// the snapshot the session was warm-started from (nil for a cold
+// start): at harvest time its counts are subtracted from the departing
+// snapshot so the session contributes only its own experience —
+// re-contributing seeded mass would compound the pool exponentially
+// across generations of warm starts.
+type harvestEntry struct {
+	reqID  int
+	res    video.Resolution
+	ctrl   *core.Controller
+	seeded *core.Snapshot
 }
 
 // addSession builds the arrival's source and controller from its fixed
 // per-session seeds and registers it on the server's engine as a live
-// arrival at its dispatch time.
+// arrival at its dispatch time. seeded is the knowledge snapshot the
+// controller factory warm-starts from (nil when knowledge reuse is off
+// or the class is still cold), recorded for delta harvesting.
 func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video.Catalog,
-	factory experiments.ControllerFactory) error {
+	factory experiments.ControllerFactory, seeded *core.Snapshot) error {
 	seq, err := catalog.Get(req.Sequence)
 	if err != nil {
 		return err
@@ -241,7 +296,7 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 	if err != nil {
 		return err
 	}
-	if _, err := fs.eng.AddSession(transcode.SessionConfig{
+	id, err := fs.eng.AddSession(transcode.SessionConfig{
 		Source:        src,
 		Controller:    ctrl,
 		Initial:       initial,
@@ -250,8 +305,14 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		FrameBudget:   req.Frames,
 		StartAtSec:    req.ArriveAtSec,
 		CollectTrace:  true,
-	}); err != nil {
+	})
+	if err != nil {
 		return err
+	}
+	if fs.harvest != nil {
+		if mc, ok := ctrl.(*core.Controller); ok {
+			fs.harvest[id] = harvestEntry{reqID: req.ID, res: req.Res, ctrl: mc, seeded: seeded}
+		}
 	}
 	if req.Res == video.HR {
 		fs.hr++
@@ -286,7 +347,19 @@ func Run(cfg Config) (*Result, error) {
 	if catalog == nil {
 		catalog = video.DefaultCatalog()
 	}
-	factory, err := experiments.Factory(cfg.Approach, experiments.Options{Spec: spec, Model: model})
+	exOpts := experiments.Options{Spec: spec, Model: model}
+	var store *KnowledgeStore
+	var pendingSeed *core.Snapshot
+	if cfg.KnowledgeReuse {
+		store = NewKnowledgeStore()
+		// The factory seeds from the exact snapshot the dispatcher
+		// records as the admission's subtraction baseline (set right
+		// before each addSession), so baseline == seed by construction —
+		// delta harvesting cannot drift from what the controller
+		// actually absorbed, even if fold points move.
+		exOpts.WarmStart = func(video.Resolution) *core.Snapshot { return pendingSeed }
+	}
+	factory, err := experiments.Factory(cfg.Approach, exOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -313,9 +386,13 @@ func Run(cfg Config) (*Result, error) {
 	servers := make([]*fleetServer, cfg.Servers)
 	for i := range servers {
 		servers[i] = &fleetServer{}
+		if store != nil {
+			servers[i].harvest = make(map[int]harvestEntry)
+		}
 	}
 	states := make([]ServerState, cfg.Servers)
 	placements := make([]placement, 0, len(arrivals))
+	seeded := 0
 	for _, req := range arrivals {
 		t := req.ArriveAtSec
 		// Interleave: step every engine to the arrival instant. Departure
@@ -325,6 +402,14 @@ func Run(cfg Config) (*Result, error) {
 				if err := fs.eng.AdvanceTo(t); err != nil {
 					return nil, err
 				}
+			}
+		}
+		// Fold the departures the fleet surfaced on the way to t into the
+		// knowledge store, in arrival-ID order, before this arrival's
+		// placement and (possibly warm) controller construction.
+		if store != nil {
+			if err := foldDepartures(servers, store); err != nil {
+				return nil, err
 			}
 		}
 		for i, fs := range servers {
@@ -340,7 +425,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		choice := pol.Place(req, states)
-		if choice < 0 || choice >= cfg.Servers || states[choice].Full() {
+		if choice < -1 || choice >= cfg.Servers {
+			// A deliberate reject is -1 and every other return must be a
+			// real server index: folding garbage into the rejection count
+			// would silently corrupt RejectionPct for buggy policies.
+			return nil, fmt.Errorf("serve: policy %q violated the placement contract: returned %d for arrival %d (valid: -1 to reject, 0..%d to place)",
+				pol.Name(), choice, req.ID, cfg.Servers-1)
+		}
+		if choice == -1 || states[choice].Full() {
 			placements = append(placements, placement{req: req, server: -1})
 			continue
 		}
@@ -357,16 +449,42 @@ func Run(cfg Config) (*Result, error) {
 				} else {
 					fs.lr--
 				}
+				if fs.harvest == nil || fs.draining {
+					return
+				}
+				if entry, ok := fs.harvest[end.SessionID]; ok {
+					fs.pending = append(fs.pending, entry)
+					delete(fs.harvest, end.SessionID)
+				}
 			})
 		}
-		if err := fs.addSession(req, cfg, catalog, factory); err != nil {
+		// Clone the class's current snapshot: the store keeps merging
+		// afterwards, so the admission needs a frozen copy that serves
+		// both as the controller's seed (via the WarmStart closure) and
+		// as the baseline its departing contribution is measured against.
+		var seedSnap *core.Snapshot
+		if store != nil {
+			if s := store.Seed(req.Res); s != nil {
+				cp := s.Clone()
+				seedSnap = &cp
+				seeded++
+			}
+		}
+		pendingSeed = seedSnap
+		if err := fs.addSession(req, cfg, catalog, factory, seedSnap); err != nil {
 			return nil, err
 		}
 		placements = append(placements, placement{req: req, server: choice})
 	}
 
 	// Tail: no placement decisions remain, so the loaded engines are
-	// independent and drain to completion across the worker pool.
+	// independent and drain to completion across the worker pool. The
+	// knowledge harvest closes here — drain departures can no longer
+	// affect an admission, and not folding them keeps the engines free of
+	// shared state.
+	for _, fs := range servers {
+		fs.draining = true
+	}
 	// perServer[i] lists server i's admissions in placement order, which
 	// is also its engine's AddSession order — aggregate relies on that
 	// alignment.
@@ -396,13 +514,53 @@ func Run(cfg Config) (*Result, error) {
 	for u, srv := range unitServer {
 		engRes[srv] = outs[u]
 	}
-	return aggregate(cfg, spec, pol.Name(), placements, perServer, engRes), nil
+	res, err := aggregate(cfg, spec, pol.Name(), placements, perServer, engRes)
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		res.KnowledgeContributions = store.Contributions(video.HR) + store.Contributions(video.LR)
+		res.KnowledgeSeeded = seeded
+	}
+	return res, nil
+}
+
+// foldDepartures folds every departure the fleet has surfaced since the
+// last fold into the knowledge store, in arrival-ID order across all
+// servers. The fixed order pins the floating-point fold sequence, so the
+// store contents — and every snapshot later admissions are seeded from —
+// depend only on the workload and seed.
+func foldDepartures(servers []*fleetServer, store *KnowledgeStore) error {
+	var batch []harvestEntry
+	for _, fs := range servers {
+		batch = append(batch, fs.pending...)
+		fs.pending = fs.pending[:0]
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].reqID < batch[j].reqID })
+	for _, e := range batch {
+		snap := e.ctrl.Snapshot()
+		if e.seeded != nil {
+			// Contribute the session's own experience only: keep its
+			// final Q estimates but weight them by the visits it made
+			// itself, not by the recycled seed mass.
+			if err := snap.SubtractCounts(*e.seeded); err != nil {
+				return err
+			}
+		}
+		if err := store.Contribute(e.res, snap); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // aggregate folds the dispatch log and the per-server simulation results
 // into the service-level Result.
 func aggregate(cfg Config, spec platform.Spec, policyName string, placements []placement,
-	perServer [][]SessionRequest, engRes []*transcode.Result) *Result {
+	perServer [][]SessionRequest, engRes []*transcode.Result) (*Result, error) {
 	horizon := cfg.Workload.DurationSec
 	res := &Result{
 		Policy:      policyName,
@@ -488,8 +646,18 @@ func aggregate(cfg Config, spec platform.Spec, policyName string, placements []p
 			for _, s := range engRes[i].Sessions {
 				traces = append(traces, s.Trace)
 			}
-			if w, err := metrics.TimeWeightedPower(traces, cfg.WarmupSec, horizon); err == nil {
+			switch w, err := metrics.TimeWeightedPower(traces, cfg.WarmupSec, horizon); {
+			case err == nil:
 				sr.AvgPowerW = w
+			case errors.Is(err, metrics.ErrNoSamples):
+				// No power reading inside the window (the server's
+				// sessions all ran outside it): the idle-power fallback
+				// is the truth, not an accident.
+			default:
+				// Anything else is a real accounting bug; reporting a
+				// loaded server at idle power would silently skew the
+				// fleet energy numbers.
+				return nil, fmt.Errorf("serve: server %d window power: %w", i, err)
 			}
 		}
 		busy := 0.0
@@ -513,7 +681,7 @@ func aggregate(cfg Config, spec platform.Spec, policyName string, placements []p
 		res.Servers = append(res.Servers, sr)
 	}
 	res.FleetAvgPowerW /= float64(cfg.Servers)
-	return res
+	return res, nil
 }
 
 // classStats folds measured session outcomes of one class.

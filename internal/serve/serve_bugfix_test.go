@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"mamut/internal/experiments"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+)
+
+// constPolicy always returns the same placement choice.
+type constPolicy struct{ choice int }
+
+func (p *constPolicy) Name() string                            { return "const" }
+func (p *constPolicy) Place(SessionRequest, []ServerState) int { return p.choice }
+
+// TestPolicyContractViolationIsAnError: a Place return outside
+// [-1, Servers) is a broken custom policy, not a rejection — folding it
+// into the rejection count would silently corrupt RejectionPct.
+func TestPolicyContractViolationIsAnError(t *testing.T) {
+	base := func(choice int) Config {
+		return Config{
+			Servers:       2,
+			Approach:      experiments.Heuristic,
+			PolicyFactory: func() Policy { return &constPolicy{choice: choice} },
+			Workload: Workload{Trace: []SessionRequest{
+				{ArriveAtSec: 0, Sequence: "BQMall", Frames: 24},
+				{ArriveAtSec: 1, Sequence: "BQMall", Frames: 24},
+			}},
+			Seed:    1,
+			Workers: 1,
+		}
+	}
+	for _, choice := range []int{2, 7, -2, -100} {
+		_, err := Run(base(choice))
+		if err == nil {
+			t.Errorf("choice %d: contract violation folded into rejections instead of erroring", choice)
+			continue
+		}
+		if !strings.Contains(err.Error(), "placement contract") {
+			t.Errorf("choice %d: unexpected error %v", choice, err)
+		}
+	}
+
+	// The documented reject (-1) stays a rejection, not an error.
+	res, err := Run(base(-1))
+	if err != nil {
+		t.Fatalf("deliberate reject errored: %v", err)
+	}
+	if res.Rejected != res.Offered || res.Rejected == 0 {
+		t.Errorf("deliberate rejects: %d of %d offered", res.Rejected, res.Offered)
+	}
+
+	// A valid choice of a full server also stays a rejection.
+	full := base(0)
+	full.MaxSessionsPerServer = 1
+	res, err = Run(full)
+	if err != nil {
+		t.Fatalf("full-server choice errored: %v", err)
+	}
+	if res.Admitted != 1 || res.Rejected != 1 {
+		t.Errorf("full-server choice: admitted %d rejected %d, want 1/1", res.Admitted, res.Rejected)
+	}
+}
+
+// TestAggregatePowerErrorHandling: "no samples in the window" keeps the
+// documented idle-power fallback, while a real TimeWeightedPower error
+// propagates instead of silently reporting a loaded server at idle
+// power.
+func TestAggregatePowerErrorHandling(t *testing.T) {
+	spec := platform.DefaultSpec()
+	cfg := Config{
+		Servers:  1,
+		Workload: Workload{ArrivalRate: 1, DurationSec: 100},
+		Seed:     1,
+	}.withDefaults()
+	cfg.WarmupSec = 10
+	req := SessionRequest{ID: 0, ArriveAtSec: 0, Frames: 10}
+	placements := []placement{{req: req, server: 0}}
+	perServer := [][]SessionRequest{{req}}
+
+	// Sessions exist but none left a power reading: legitimate idle
+	// fallback, no error.
+	engRes := []*transcode.Result{{Sessions: []transcode.SessionResult{{Frames: 10}}}}
+	res, err := aggregate(cfg, spec, "p", placements, perServer, engRes)
+	if err != nil {
+		t.Fatalf("no-samples window errored: %v", err)
+	}
+	if got := res.Servers[0].AvgPowerW; got != spec.IdlePowerW {
+		t.Errorf("idle fallback power = %g, want %g", got, spec.IdlePowerW)
+	}
+
+	// A degenerate window (warm-up at the horizon) is a real accounting
+	// error and must propagate.
+	bad := cfg
+	bad.WarmupSec = bad.Workload.DurationSec
+	if _, err := aggregate(bad, spec, "p", placements, perServer, engRes); err == nil {
+		t.Error("degenerate power window swallowed")
+	}
+
+	// An all-samples-in-window run still reports measured power.
+	engRes[0].Sessions[0].Trace = []transcode.Observation{
+		{Time: 20, PowerW: 120}, {Time: 60, PowerW: 130},
+	}
+	res, err = aggregate(cfg, spec, "p", placements, perServer, engRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers[0].AvgPowerW <= spec.IdlePowerW {
+		t.Errorf("measured power %g not above idle %g", res.Servers[0].AvgPowerW, spec.IdlePowerW)
+	}
+}

@@ -278,7 +278,13 @@ func TestConfigValidate(t *testing.T) {
 		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, WarmupSec: 10},
 		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, WarmupSec: -1},
 		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, SLOFPSFactor: -2},
+		// An SLO factor above 1 demands average FPS beyond the target the
+		// controllers regulate around: unattainable, silently zeroing
+		// SLOAttainedPct.
+		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, SLOFPSFactor: 1.05},
 		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, Workers: -1},
+		// Knowledge reuse needs a learner that can export its tables.
+		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, Approach: experiments.Heuristic, KnowledgeReuse: true},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

@@ -14,6 +14,12 @@
 // approximated from nominal session lengths. SLO, rejection and
 // utilization metrics therefore reflect true occupancy.
 //
+// With Config.KnowledgeReuse the fleet shares learned transcoding
+// knowledge across sessions (KaaS-style warm starts): departing MAMUT
+// sessions fold their tables into a per-resolution-class KnowledgeStore
+// and new admissions are seeded from it, so short-lived sessions skip
+// past exploration (see knowledge.go).
+//
 // Everything is deterministic for a fixed seed: the arrival process, the
 // placement decisions and every per-server simulation derive their
 // randomness from experiments.SubSeed. The interleaved phase is

@@ -321,7 +321,12 @@ func RunAblations(w WorkloadSpec, opts ExperimentOptions) ([]AblationResult, err
 // Serving-layer re-exports: internal/serve turns the batch simulator into
 // a continuously loaded service (stochastic session churn dispatched
 // across a multi-server fleet under a pluggable placement policy, with
-// steady-state SLO/power/rejection metrics).
+// steady-state SLO/power/rejection metrics). Setting
+// ServeConfig.KnowledgeReuse shares learned transcoding knowledge across
+// sessions (KaaS-style warm starts): departing MAMUT sessions contribute
+// their tables to a per-resolution-class KnowledgeStore and new
+// admissions are seeded from it — see ServeResult.KnowledgeContributions
+// and ServeResult.KnowledgeSeeded for the store's activity.
 type (
 	// ServeConfig configures one service run (fleet, policy, workload,
 	// measurement protocol).
@@ -349,7 +354,19 @@ type (
 	ServeGridSpec = serve.GridSpec
 	// ServeGridCell couples one grid coordinate with its result.
 	ServeGridCell = serve.GridCell
+	// MAMUTSnapshot is the portable learned state of one MAMUT controller
+	// (all three agents' Q-tables, visit counts and transition models) —
+	// the unit of cross-session knowledge reuse.
+	MAMUTSnapshot = core.Snapshot
+	// KnowledgeStore is the per-resolution-class shared knowledge base a
+	// knowledge-reuse service run maintains.
+	KnowledgeStore = serve.KnowledgeStore
 )
+
+// NewKnowledgeStore returns an empty cross-session knowledge base.
+// RunService builds its own when ServeConfig.KnowledgeReuse is set; a
+// standalone store is for callers folding MAMUTSnapshots themselves.
+func NewKnowledgeStore() *KnowledgeStore { return serve.NewKnowledgeStore() }
 
 // Placement policies.
 const (
