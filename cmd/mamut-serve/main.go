@@ -9,6 +9,13 @@
 // reflect true occupancy rather than nominal session lengths. Output is
 // byte-identical for a fixed seed, regardless of -workers.
 //
+// Dispatch is indexed by default: a min-heap of engines keyed by next
+// event time advances only the servers with events due before each
+// arrival, and the built-in policies place through incremental fleet
+// indexes, so thousands of servers dispatch in O(log n) per arrival.
+// -dispatch scan selects the O(servers) reference sweep; the two
+// produce byte-identical output.
+//
 // With -knowledge the fleet shares learned transcoding knowledge across
 // sessions (KaaS-style warm starts): departing MAMUT sessions contribute
 // their Q-tables to a per-resolution-class knowledge base and new
@@ -17,11 +24,15 @@
 // event-interleaved departure instants, so output stays byte-identical
 // for any -workers count.
 //
+// -cpuprofile and -memprofile write pprof profiles of the run, so fleet
+// hot paths can be profiled without a custom harness.
+//
 // Usage:
 //
 //	mamut-serve -servers 4 -arrival-rate 0.5 -policy power -duration 600
 //	mamut-serve -servers 2 -arrival-rate 0.3 -curve diurnal -format csv
 //	mamut-serve -servers 2 -arrival-rate 0.4 -mean-session 15 -knowledge
+//	mamut-serve -servers 5000 -arrival-rate 100 -duration 60 -cpuprofile cpu.pprof
 //	mamut-serve -servers 2 -policies round-robin,least-loaded,power \
 //	    -rates 0.2,0.4,0.8 -seeds 1,2,3        # (policy x rate x seed) grid
 package main
@@ -29,7 +40,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mamut"
@@ -38,26 +52,29 @@ import (
 
 func main() {
 	var (
-		servers   = flag.Int("servers", 2, "fleet size (number of simulated servers)")
-		rate      = flag.Float64("arrival-rate", 0.2, "mean session arrival rate (sessions/sec)")
-		policy    = flag.String("policy", mamut.PolicyLeastLoaded, "placement policy: "+strings.Join(mamut.ServePolicyNames(), "|"))
-		duration  = flag.Float64("duration", 300, "arrival-process horizon (simulated seconds)")
-		seed      = flag.Int64("seed", 1, "seed; equal seeds give byte-identical output")
-		workers   = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU); output is identical for any value")
-		mix       = flag.Float64("mix", 0.4, "fraction of arrivals requesting HR (the rest are LR)")
-		meanSess  = flag.Float64("mean-session", 60, "mean session length (seconds, exponential)")
-		admission = flag.Int("admission", 8, "per-server admission limit (sessions)")
-		warmup    = flag.Float64("warmup", -1, "measurement-window start (seconds; -1 = duration/4)")
-		approach  = flag.String("approach", string(mamut.ApproachMAMUT), "per-session controller: mamut|monoagent|heuristic")
-		curve     = flag.String("curve", string(mamut.LoadConstant), "load curve: constant|diurnal|ramp")
-		amplitude = flag.Float64("amplitude", 0.5, "diurnal modulation depth in [0,1)")
-		rampTo    = flag.Float64("ramp-factor", 2, "ramp: final/base arrival-rate ratio")
-		slo       = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
-		knowledge = flag.Bool("knowledge", false, "share learned knowledge across sessions (KaaS-style warm starts; mamut approach only)")
-		format    = flag.String("format", "summary", "output format for single runs: summary|csv")
-		policies  = flag.String("policies", "", "grid mode: comma-separated policies (with -rates/-seeds)")
-		rates     = flag.String("rates", "", "grid mode: comma-separated arrival rates")
-		seeds     = flag.String("seeds", "", "grid mode: comma-separated seeds")
+		servers    = flag.Int("servers", 2, "fleet size (number of simulated servers)")
+		rate       = flag.Float64("arrival-rate", 0.2, "mean session arrival rate (sessions/sec)")
+		policy     = flag.String("policy", mamut.PolicyLeastLoaded, "placement policy: "+strings.Join(mamut.ServePolicyNames(), "|"))
+		duration   = flag.Float64("duration", 300, "arrival-process horizon (simulated seconds)")
+		seed       = flag.Int64("seed", 1, "seed; equal seeds give byte-identical output")
+		workers    = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU); output is identical for any value")
+		mix        = flag.Float64("mix", 0.4, "fraction of arrivals requesting HR (the rest are LR)")
+		meanSess   = flag.Float64("mean-session", 60, "mean session length (seconds, exponential)")
+		admission  = flag.Int("admission", 8, "per-server admission limit (sessions)")
+		warmup     = flag.Float64("warmup", -1, "measurement-window start (seconds; -1 = duration/4)")
+		approach   = flag.String("approach", string(mamut.ApproachMAMUT), "per-session controller: mamut|monoagent|heuristic")
+		curve      = flag.String("curve", string(mamut.LoadConstant), "load curve: constant|diurnal|ramp")
+		amplitude  = flag.Float64("amplitude", 0.5, "diurnal modulation depth in [0,1)")
+		rampTo     = flag.Float64("ramp-factor", 2, "ramp: final/base arrival-rate ratio")
+		slo        = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
+		knowledge  = flag.Bool("knowledge", false, "share learned knowledge across sessions (KaaS-style warm starts; mamut approach only)")
+		dispatch   = flag.String("dispatch", string(mamut.DispatchIndexed), "fleet dispatcher: indexed|scan (byte-identical output)")
+		format     = flag.String("format", "summary", "output format for single runs: summary|csv")
+		policies   = flag.String("policies", "", "grid mode: comma-separated policies (with -rates/-seeds)")
+		rates      = flag.String("rates", "", "grid mode: comma-separated arrival rates")
+		seeds      = flag.String("seeds", "", "grid mode: comma-separated seeds")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -99,103 +116,143 @@ func main() {
 		WarmupSec:      *warmup,
 		SLOFPSFactor:   *slo,
 		KnowledgeReuse: *knowledge,
+		Dispatch:       mamut.ServeDispatchMode(*dispatch),
 		Seed:           *seed,
 		Workers:        *workers,
 	}
 
-	if *policies != "" || *rates != "" || *seeds != "" {
-		runGrid(cfg, *policies, *rates, *seeds, *workers)
-		return
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
 	}
-	res, err := mamut.RunService(cfg)
+	err := run(os.Stdout, cfg, *format, *policies, *rates, *seeds, *workers)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
-	switch *format {
-	case "summary":
-		printSummary(cfg, res)
-	case "csv":
-		printCSV(res)
-	default:
-		fatal(fmt.Errorf("unknown format %q (summary|csv)", *format))
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-func runGrid(base mamut.ServeConfig, policies, rates, seeds string, workers int) {
+// run executes one service run (or a grid) and writes the report.
+func run(w io.Writer, cfg mamut.ServeConfig, format, policies, rates, seeds string, workers int) error {
+	if policies != "" || rates != "" || seeds != "" {
+		return runGrid(w, cfg, policies, rates, seeds, workers)
+	}
+	res, err := mamut.RunService(cfg)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "summary":
+		printSummary(w, cfg, res)
+	case "csv":
+		printCSV(w, res)
+	default:
+		return fmt.Errorf("unknown format %q (summary|csv)", format)
+	}
+	return nil
+}
+
+func runGrid(w io.Writer, base mamut.ServeConfig, policies, rates, seeds string, workers int) error {
 	spec := mamut.ServeGridSpec{Base: base, Workers: workers}
 	var err error
 	if policies != "" {
 		if spec.Policies, err = cliutil.ParseStrings(policies); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if rates != "" {
 		if spec.ArrivalRates, err = cliutil.ParseFloats(rates); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if seeds != "" {
 		if spec.Seeds, err = cliutil.ParseInt64s(seeds); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	cells, err := mamut.RunServiceGrid(spec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("policy,arrival_rate,seed,offered,admitted,rejected,rejection_pct," +
+	fmt.Fprintln(w, "policy,arrival_rate,seed,offered,admitted,rejected,rejection_pct,"+
 		"measured,slo_pct,hr_slo_pct,lr_slo_pct,fleet_avg_power_w")
 	for _, c := range cells {
 		r := c.Result
-		fmt.Printf("%s,%g,%d,%d,%d,%d,%.2f,%d,%.2f,%.2f,%.2f,%.2f\n",
+		fmt.Fprintf(w, "%s,%g,%d,%d,%d,%d,%.2f,%d,%.2f,%.2f,%.2f,%.2f\n",
 			c.Policy, c.ArrivalRate, c.Seed, r.Offered, r.Admitted, r.Rejected,
 			r.RejectionPct, r.Measured, r.SLOAttainedPct,
 			r.HR.SLOAttainedPct, r.LR.SLOAttainedPct, r.FleetAvgPowerW)
 	}
+	return nil
 }
 
-func printSummary(cfg mamut.ServeConfig, r *mamut.ServeResult) {
-	fmt.Printf("mamut-serve: policy=%s servers=%d admission=%d approach=%s seed=%d\n",
+func printSummary(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
+	fmt.Fprintf(w, "mamut-serve: policy=%s servers=%d admission=%d approach=%s seed=%d\n",
 		r.Policy, cfg.Servers, cfg.MaxSessionsPerServer, cfg.Approach, cfg.Seed)
 	mix := cfg.Workload.HRFraction
 	if mix < 0 {
 		mix = 0
 	}
-	fmt.Printf("workload: rate=%g/s curve=%s mix=%.0f%%HR mean-session=%gs horizon=%gs warmup=%gs\n",
+	fmt.Fprintf(w, "workload: rate=%g/s curve=%s mix=%.0f%%HR mean-session=%gs horizon=%gs warmup=%gs\n",
 		cfg.Workload.ArrivalRate, cfg.Workload.Curve, 100*mix,
 		cfg.Workload.MeanSessionSec, r.DurationSec, r.WarmupSec)
-	fmt.Printf("arrivals: offered=%d admitted=%d rejected=%d (%.1f%%); in-window rejected %d of %d (%.1f%%)\n",
+	fmt.Fprintf(w, "arrivals: offered=%d admitted=%d rejected=%d (%.1f%%); in-window rejected %d of %d (%.1f%%)\n",
 		r.Offered, r.Admitted, r.Rejected, r.RejectionPct,
 		r.MeasuredRejected, r.MeasuredOffered, r.MeasuredRejectionPct)
-	fmt.Printf("SLO (avg FPS >= %.0f%% of target): %.1f%% of %d measured sessions\n",
+	fmt.Fprintf(w, "SLO (avg FPS >= %.0f%% of target): %.1f%% of %d measured sessions\n",
 		100*cfg.SLOFPSFactor, r.SLOAttainedPct, r.Measured)
 	if cfg.KnowledgeReuse {
-		fmt.Printf("knowledge: %d departed sessions contributed, %d admissions warm-started\n",
+		fmt.Fprintf(w, "knowledge: %d departed sessions contributed, %d admissions warm-started\n",
 			r.KnowledgeContributions, r.KnowledgeSeeded)
 	}
 	for _, cls := range []struct {
 		name  string
 		stats mamut.ServeClassStats
 	}{{"HR", r.HR}, {"LR", r.LR}} {
-		fmt.Printf("  %s: %d sessions, SLO %.1f%%, avg FPS %.1f, avg PSNR %.1f dB, frame violations %.1f%%\n",
+		fmt.Fprintf(w, "  %s: %d sessions, SLO %.1f%%, avg FPS %.1f, avg PSNR %.1f dB, frame violations %.1f%%\n",
 			cls.name, cls.stats.Sessions, cls.stats.SLOAttainedPct,
 			cls.stats.AvgFPS, cls.stats.AvgPSNRdB, cls.stats.AvgViolationPct)
 	}
-	fmt.Printf("fleet: avg power %.1f W over the measurement window\n", r.FleetAvgPowerW)
-	fmt.Println("server  sessions  peak  util_pct  avg_power_w")
+	fmt.Fprintf(w, "fleet: avg power %.1f W over the measurement window\n", r.FleetAvgPowerW)
+	fmt.Fprintln(w, "server  sessions  peak  util_pct  avg_power_w")
 	for _, s := range r.Servers {
-		fmt.Printf("%6d  %8d  %4d  %8.1f  %11.1f\n",
+		fmt.Fprintf(w, "%6d  %8d  %4d  %8.1f  %11.1f\n",
 			s.Index, s.Sessions, s.PeakActive, s.UtilizationPct, s.AvgPowerW)
 	}
 }
 
-func printCSV(r *mamut.ServeResult) {
-	fmt.Println("scope,sessions,peak_active,utilization_pct,avg_power_w,slo_pct,rejection_pct")
+func printCSV(w io.Writer, r *mamut.ServeResult) {
+	fmt.Fprintln(w, "scope,sessions,peak_active,utilization_pct,avg_power_w,slo_pct,rejection_pct")
 	for _, s := range r.Servers {
-		fmt.Printf("server%d,%d,%d,%.2f,%.2f,,\n",
+		fmt.Fprintf(w, "server%d,%d,%d,%.2f,%.2f,,\n",
 			s.Index, s.Sessions, s.PeakActive, s.UtilizationPct, s.AvgPowerW)
 	}
-	fmt.Printf("fleet,%d,,,%.2f,%.2f,%.2f\n",
+	fmt.Fprintf(w, "fleet,%d,,,%.2f,%.2f,%.2f\n",
 		r.Admitted, r.FleetAvgPowerW, r.SLOAttainedPct, r.RejectionPct)
 }
 

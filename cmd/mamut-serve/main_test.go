@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mamut"
+)
+
+// -update-golden regenerates the committed fleet smoke goldens. The same
+// files are asserted by the CI workflow against the built binary (same
+// flags), so the library-level test here and the CLI-level smoke cannot
+// drift apart.
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata goldens")
+
+// fleetSmokeConfig mirrors the CI smoke step's flags:
+//
+//	mamut-serve -servers 64 -arrival-rate 2 -duration 40 -warmup 10 \
+//	    -mean-session 10 -approach heuristic -seed 7 -policy <p>
+func fleetSmokeConfig(policy string) mamut.ServeConfig {
+	return mamut.ServeConfig{
+		Servers:              64,
+		MaxSessionsPerServer: 8,
+		Policy:               policy,
+		Approach:             mamut.ApproachHeuristic,
+		Workload: mamut.ServeWorkload{
+			ArrivalRate:    2,
+			DurationSec:    40,
+			HRFraction:     0.4,
+			MeanSessionSec: 10,
+			Curve:          mamut.LoadConstant,
+			CurveAmplitude: 0.5,
+			RampEndFactor:  2,
+		},
+		WarmupSec:    10,
+		SLOFPSFactor: 0.95,
+		Seed:         7,
+	}
+}
+
+// TestFleetSmokeGolden pins the mamut-serve summary output for a
+// 64-server fleet under every built-in policy to committed goldens —
+// byte-identical across worker counts and across both dispatcher
+// implementations.
+func TestFleetSmokeGolden(t *testing.T) {
+	for _, policy := range mamut.ServePolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			golden := filepath.Join("testdata", fmt.Sprintf("fleet64_%s.golden", policy))
+			outputs := map[string][]byte{}
+			for _, variant := range []struct {
+				name     string
+				dispatch mamut.ServeDispatchMode
+				workers  int
+			}{
+				{"indexed_w1", mamut.DispatchIndexed, 1},
+				{"indexed_w4", mamut.DispatchIndexed, 4},
+				{"scan_w1", mamut.DispatchScan, 1},
+			} {
+				cfg := fleetSmokeConfig(policy)
+				cfg.Dispatch = variant.dispatch
+				cfg.Workers = variant.workers
+				var buf bytes.Buffer
+				if err := run(&buf, cfg, "summary", "", "", "", cfg.Workers); err != nil {
+					t.Fatalf("%s: %v", variant.name, err)
+				}
+				outputs[variant.name] = buf.Bytes()
+			}
+			for name, out := range outputs {
+				if !bytes.Equal(out, outputs["indexed_w1"]) {
+					t.Fatalf("output of %s differs from indexed_w1", name)
+				}
+			}
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, outputs["indexed_w1"], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("golden written to %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(outputs["indexed_w1"], want) {
+				t.Errorf("output diverged from committed golden %s:\n got:\n%s\nwant:\n%s",
+					golden, outputs["indexed_w1"], want)
+			}
+		})
+	}
+}

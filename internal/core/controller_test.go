@@ -366,7 +366,7 @@ func TestControllerLearnsInEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const frames = 14000
+	const frames = 30000
 	if _, err := eng.AddSession(transcode.SessionConfig{
 		Source: src, Controller: ctrl, Initial: initial,
 		BandwidthMbps: 6, FrameBudget: frames, CollectTrace: true,

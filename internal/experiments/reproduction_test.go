@@ -3,17 +3,22 @@ package experiments
 import "testing"
 
 // TestHeadlineReproduction is the end-to-end regression guard for the
-// paper's headline claims at a reduced-but-converging horizon (~10 s).
-// It protects the calibrated shape documented in EXPERIMENTS.md: if a
-// model or controller change breaks an ordering, this test goes red.
+// paper's headline claims at a reduced-but-converging horizon (about a
+// second of wall time). It protects the calibrated shape documented in
+// EXPERIMENTS.md: if a model or controller change breaks an ordering,
+// this test goes red. The horizon was lengthened to 60k warm-up frames
+// when the engine's rng streams moved to xrand: at 30k the MAMUT
+// controllers were still mid-descent on the power objective, and the
+// power ordering (heuristic highest) is only a converged-behaviour
+// claim.
 func TestHeadlineReproduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("headline reproduction needs a converging horizon")
 	}
 	opts := DefaultOptions()
 	opts.Repetitions = 1
-	opts.WarmupFrames = 30000
-	opts.MeasureFrames = 5000
+	opts.WarmupFrames = 60000
+	opts.MeasureFrames = 8000
 
 	w := WorkloadSpec{Name: "2HR2LR", HR: 2, LR: 2}
 	results := map[Approach]ApproachResult{}

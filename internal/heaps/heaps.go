@@ -1,0 +1,73 @@
+// Package heaps provides a minimal generic binary min-heap used by the
+// serve dispatcher's event and policy indexes. It is generic over the
+// element's Less method (no container/heap interface boxing, no stored
+// comparison closures), so each instantiation stays a concrete slice
+// with direct comparisons.
+//
+// internal/transcode keeps its own concrete eventHeap: frame events are
+// the simulator's hottest path and its heap predates this package; see
+// transcode/events.go.
+package heaps
+
+// Lesser is the ordering contract: a.Less(b) reports whether a sorts
+// strictly before b. Implementations must be total orders (use a field
+// like an index as the final tie-break for determinism).
+type Lesser[T any] interface {
+	Less(T) bool
+}
+
+// Heap is a binary min-heap over T's Less ordering. The zero value is
+// an empty heap; Peek/Pop require Len() > 0.
+type Heap[T Lesser[T]] []T
+
+// Len returns the number of elements.
+func (h Heap[T]) Len() int { return len(h) }
+
+// Peek returns the minimum element without removing it.
+func (h Heap[T]) Peek() T { return h[0] }
+
+// Push adds an element.
+func (h *Heap[T]) Push(v T) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].Less((*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum element.
+func (h *Heap[T]) Pop() T {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	var zero T
+	old[n] = zero
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h Heap[T]) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h[right].Less(h[left]) {
+			child = right
+		}
+		if !h[child].Less(h[i]) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}

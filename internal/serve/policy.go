@@ -121,24 +121,24 @@ type powerAware struct{}
 func (powerAware) Name() string { return PolicyPowerAware }
 
 func (powerAware) Place(_ SessionRequest, servers []ServerState) int {
-	// Prefer servers that stay inside their power budget after admitting
-	// the session; among those, maximise remaining headroom. When every
-	// server would exceed its budget, fall back to the least overloaded
-	// one — degrading everyone a little beats rejecting outright.
+	// Place on the non-full server with the most power headroom (budget
+	// minus estimated package power), lowest index among exact ties. The
+	// arrival's own estimated draw (EstArrivalW) is fleet-uniform, so it
+	// shifts every candidate's headroom equally and cannot change the
+	// ranking; keeping it out of the comparison means the scan and the
+	// indexed headroom heap order by the very same float values. When
+	// every server is over budget this naturally degrades to the least
+	// overloaded one — degrading everyone a little beats rejecting
+	// outright.
 	best := -1
-	bestOver := false
 	bestHeadroom := 0.0
 	for _, s := range servers {
 		if s.Full() {
 			continue
 		}
-		headroom := s.PowerBudgetW - s.EstPowerW - s.EstArrivalW
-		over := headroom < 0
-		switch {
-		case best == -1,
-			bestOver && !over,
-			over == bestOver && headroom > bestHeadroom:
-			best, bestOver, bestHeadroom = s.Index, over, headroom
+		headroom := s.PowerBudgetW - s.EstPowerW
+		if best == -1 || headroom > bestHeadroom {
+			best, bestHeadroom = s.Index, headroom
 		}
 	}
 	return best
@@ -149,20 +149,21 @@ func (powerAware) Place(_ SessionRequest, servers []ServerState) int {
 // initial operating point (mid frequency, the class's typical thread
 // count, ~80% parallel efficiency). The dispatcher uses this single
 // scalar per class; it does not need to be exact, only to rank HR above
-// LR in proportion to their compute appetite.
-func estSessionPowerW(spec platform.Spec, res video.Resolution) float64 {
+// LR in proportion to their compute appetite. A spec whose DVFS ladder
+// cannot resolve the operating point (a malformed custom spec) is a
+// config error for the caller to surface, not a crash.
+func estSessionPowerW(spec platform.Spec, res video.Resolution) (float64, error) {
 	const efficiency = 0.8
 	midGHz := spec.Nearest(2.6)
 	vf, err := spec.VFNorm(midGHz)
 	if err != nil {
-		// Nearest always returns a ladder rung.
-		panic(err)
+		return 0, fmt.Errorf("serve: platform spec: %w", err)
 	}
 	threads := 6.0
 	if res == video.LR {
 		threads = 3.0
 	}
-	return spec.DynPowerPerCoreW * vf * efficiency * threads
+	return spec.DynPowerPerCoreW * vf * efficiency * threads, nil
 }
 
 // powerBudgetW derives the dispatcher's per-server power budget from a

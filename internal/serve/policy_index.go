@@ -1,0 +1,200 @@
+package serve
+
+import "mamut/internal/heaps"
+
+// Indexed placement: the built-in policies answer Place from an
+// incrementally maintained index instead of scanning the whole fleet, so
+// a placement decision costs O(log servers) (or O(1)) instead of
+// O(servers). The dispatcher detects the capability through the optional
+// FleetIndexer interface and keeps the index current by calling Update
+// whenever one server's state changes (an admission, or a departure
+// observed through the engine's OnSessionEnd hook).
+//
+// Determinism is the contract: for any sequence of updates, Place must
+// return exactly what the policy's scan Place would return on the
+// equivalent full state slice — including tie-breaks (lowest index) —
+// because the scan implementations remain the semantic reference and the
+// dispatcher's two paths are required to produce byte-identical service
+// results. The least-loaded and power-aware indexes therefore compare
+// the very same quantities the scans compare (integer occupancy;
+// PowerBudgetW - EstPowerW on identical floats) and resolve ties by
+// server index, and both use lazily invalidated heaps: every state
+// change pushes a fresh entry, and entries that no longer match the
+// server's current state are discarded when they surface at the top.
+
+// FleetIndexer is an optional Policy extension: a policy that can place
+// arrivals from an incrementally maintained fleet index. All built-in
+// policies implement it; the dispatcher falls back to the O(servers)
+// scan for policies that don't.
+type FleetIndexer interface {
+	Policy
+	// NewFleetIndex builds the policy's index over the fleet's initial
+	// states (one per server, ordered by Index). The returned index is
+	// owned by one run: it may share mutable state (e.g. a rotation
+	// cursor) with the policy instance.
+	NewFleetIndex(states []ServerState) FleetIndex
+}
+
+// FleetIndex is a policy's incremental view of the fleet.
+type FleetIndex interface {
+	// Update refreshes one server's state after an admission or a
+	// departure changed it.
+	Update(s ServerState)
+	// Place chooses the admitting server for the arrival (or -1 to
+	// reject), exactly as the policy's Place would on the full fleet
+	// state. As with Place, the dispatcher still rejects the arrival
+	// when the chosen server is full.
+	Place(req SessionRequest) int
+}
+
+// --- round-robin -----------------------------------------------------
+
+// rrIndex is the trivial index: blind rotation never inspects server
+// state, so Place is the cursor itself. It shares the cursor with the
+// policy instance.
+type rrIndex struct {
+	p *roundRobin
+	n int
+}
+
+// NewFleetIndex implements FleetIndexer.
+func (p *roundRobin) NewFleetIndex(states []ServerState) FleetIndex {
+	return &rrIndex{p: p, n: len(states)}
+}
+
+func (x *rrIndex) Update(ServerState) {}
+
+func (x *rrIndex) Place(SessionRequest) int {
+	idx := x.p.next % x.n
+	x.p.next++
+	return idx
+}
+
+// --- least-loaded ----------------------------------------------------
+
+// llIndex is a bucket queue over occupancy: bucket[a] holds candidate
+// servers with a resident sessions, as a min-heap of server indices so
+// ties resolve to the lowest index, exactly like the scan. Occupancy is
+// bounded by the admission limit, so Place probes at most MaxSessions
+// buckets — O(admission limit + log servers) per arrival, independent
+// of fleet size.
+type llIndex struct {
+	occ    []int
+	max    []int
+	bucket []heaps.Heap[serverIdx]
+}
+
+// serverIdx orders bucket entries by server index.
+type serverIdx int
+
+func (a serverIdx) Less(b serverIdx) bool { return a < b }
+
+// NewFleetIndex implements FleetIndexer.
+func (leastLoaded) NewFleetIndex(states []ServerState) FleetIndex {
+	maxSessions := 0
+	for _, s := range states {
+		if s.MaxSessions > maxSessions {
+			maxSessions = s.MaxSessions
+		}
+	}
+	x := &llIndex{
+		occ:    make([]int, len(states)),
+		max:    make([]int, len(states)),
+		bucket: make([]heaps.Heap[serverIdx], maxSessions), // placeable occupancies: 0..max-1
+	}
+	for _, s := range states {
+		x.set(s)
+	}
+	return x
+}
+
+// set records a server's occupancy and, when placeable, files it in its
+// bucket. Stale entries in other buckets are discarded lazily by Place.
+func (x *llIndex) set(s ServerState) {
+	x.occ[s.Index] = s.Active
+	x.max[s.Index] = s.MaxSessions
+	if s.Active < s.MaxSessions && s.Active < len(x.bucket) {
+		x.bucket[s.Active].Push(serverIdx(s.Index))
+	}
+}
+
+func (x *llIndex) Update(s ServerState) { x.set(s) }
+
+func (x *llIndex) Place(SessionRequest) int {
+	for a := range x.bucket {
+		b := &x.bucket[a]
+		for b.Len() > 0 {
+			idx := int(b.Peek())
+			if x.occ[idx] == a && a < x.max[idx] {
+				return idx
+			}
+			b.Pop() // stale: the server moved to another occupancy
+		}
+	}
+	return -1
+}
+
+// --- power-aware -----------------------------------------------------
+
+// paIndex keeps the non-full servers in a max-heap of power headroom
+// (PowerBudgetW - EstPowerW, the scan's ranking quantity computed from
+// the identical floats), index-ascending among equal headrooms. Entries
+// are validated against the server's current headroom and occupancy when
+// they surface; every Update pushes a fresh entry, so the current state
+// of every candidate is always represented.
+type paIndex struct {
+	head []float64
+	occ  []int
+	max  []int
+	h    heaps.Heap[paEntry]
+}
+
+// NewFleetIndex implements FleetIndexer.
+func (powerAware) NewFleetIndex(states []ServerState) FleetIndex {
+	x := &paIndex{
+		head: make([]float64, len(states)),
+		occ:  make([]int, len(states)),
+		max:  make([]int, len(states)),
+	}
+	for _, s := range states {
+		x.set(s)
+	}
+	return x
+}
+
+func (x *paIndex) set(s ServerState) {
+	x.head[s.Index] = s.PowerBudgetW - s.EstPowerW
+	x.occ[s.Index] = s.Active
+	x.max[s.Index] = s.MaxSessions
+	if s.Active < s.MaxSessions {
+		x.h.Push(paEntry{headroom: x.head[s.Index], id: s.Index})
+	}
+}
+
+func (x *paIndex) Update(s ServerState) { x.set(s) }
+
+func (x *paIndex) Place(SessionRequest) int {
+	for x.h.Len() > 0 {
+		top := x.h.Peek()
+		if top.headroom == x.head[top.id] && x.occ[top.id] < x.max[top.id] {
+			return top.id
+		}
+		x.h.Pop() // stale: the server's headroom or fullness changed
+	}
+	return -1
+}
+
+// paEntry is one headroom-heap candidate.
+type paEntry struct {
+	headroom float64
+	id       int
+}
+
+// Less orders by headroom descending, then server index ascending —
+// the scan's argmax-with-first-wins tie-break.
+func (e paEntry) Less(o paEntry) bool {
+	if e.headroom != o.headroom {
+		return e.headroom > o.headroom
+	}
+	return e.id < o.id
+}

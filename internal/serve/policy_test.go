@@ -57,8 +57,14 @@ func TestLeastLoadedSkipsFullServers(t *testing.T) {
 func TestPowerAwareBalancesWatts(t *testing.T) {
 	p, _ := NewPolicy(PolicyPowerAware)
 	spec := platform.DefaultSpec()
-	hrW := estSessionPowerW(spec, video.HR)
-	lrW := estSessionPowerW(spec, video.LR)
+	hrW, err := estSessionPowerW(spec, video.HR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrW, err := estSessionPowerW(spec, video.LR)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hrW <= lrW {
 		t.Fatalf("HR estimate %.1f W not above LR estimate %.1f W", hrW, lrW)
 	}

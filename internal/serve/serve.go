@@ -3,16 +3,18 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math"
 	"sort"
 
 	"mamut/internal/core"
 	"mamut/internal/experiments"
+	"mamut/internal/heaps"
 	"mamut/internal/hevc"
 	"mamut/internal/metrics"
 	"mamut/internal/platform"
 	"mamut/internal/transcode"
 	"mamut/internal/video"
+	"mamut/internal/xrand"
 )
 
 // Config defaults.
@@ -74,9 +76,37 @@ type Config struct {
 	// (0 = one per CPU, 1 = serial). Results are bit-identical for any
 	// worker count.
 	Workers int
+	// Dispatch selects the dispatcher implementation: DispatchIndexed
+	// (default) or DispatchScan. The two produce bit-identical results;
+	// the scan path is the O(servers)-per-arrival reference.
+	Dispatch DispatchMode
 	// Progress observes completed per-server simulations.
 	Progress experiments.ProgressFunc
 }
+
+// DispatchMode selects the dispatcher implementation.
+type DispatchMode string
+
+const (
+	// DispatchIndexed is the default fleet dispatcher: a min-heap of
+	// engines keyed by next event time advances only the servers with
+	// events due before the arrival instant (idle engines are never
+	// touched), server states are maintained incrementally on admission
+	// and departure, and the built-in policies place through their fleet
+	// index — so an arrival costs O(k log servers) for the k servers
+	// with pending events instead of O(servers).
+	DispatchIndexed DispatchMode = "indexed"
+	// DispatchScan is the O(servers)-per-arrival reference dispatcher:
+	// every live engine is advanced to each arrival instant, the full
+	// state slice is rebuilt and the policy scans it. It produces
+	// byte-identical results to DispatchIndexed (equivalence tests pin
+	// this); it is retained as the semantic reference and for
+	// benchmarking the sweep it replaced.
+	DispatchScan DispatchMode = "scan"
+)
+
+// DispatchModes lists the dispatcher implementations.
+func DispatchModes() []DispatchMode { return []DispatchMode{DispatchIndexed, DispatchScan} }
 
 // SessionOutcome is the service-level record of one arrival.
 type SessionOutcome struct {
@@ -190,6 +220,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOFPSFactor == 0 {
 		c.SLOFPSFactor = DefaultSLOFPSFactor
 	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchIndexed
+	}
 	c.Workload = c.Workload.withDefaults()
 	return c
 }
@@ -229,6 +262,18 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("serve: workers %d < 0", c.Workers)
 	}
+	switch c.Dispatch {
+	case DispatchIndexed, DispatchScan:
+	default:
+		return fmt.Errorf("serve: unknown dispatch mode %q (have %v)", c.Dispatch, DispatchModes())
+	}
+	if c.Spec != nil {
+		// A malformed custom spec is a config error; surfacing it here
+		// keeps the dispatcher's power estimation from crashing mid-run.
+		if err := c.Spec.Validate(); err != nil {
+			return fmt.Errorf("serve: platform spec: %w", err)
+		}
+	}
 	if c.KnowledgeReuse && c.Approach != experiments.MAMUT {
 		return fmt.Errorf("serve: knowledge reuse requires the %s approach, got %q", experiments.MAMUT, c.Approach)
 	}
@@ -252,14 +297,13 @@ type fleetServer struct {
 
 	// Knowledge harvest (knowledge reuse only). harvest maps the engine
 	// session id of every resident MAMUT session to its contribution
-	// identity; the departure hook moves entries to pending, and the
-	// dispatcher folds pending into the store — sorted by arrival ID
+	// identity; the departure hook moves entries to the dispatcher's
+	// pending batch, which folds into the store — sorted by arrival ID
 	// across the whole fleet — at the next arrival instant. draining is
 	// set before the post-arrival drain: drain departures are not
 	// harvested (no admission can observe them), which keeps the drained
 	// engines independent and the output identical for any worker count.
 	harvest  map[int]harvestEntry
-	pending  []harvestEntry
 	draining bool
 }
 
@@ -287,12 +331,15 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 	if err != nil {
 		return err
 	}
-	src, err := video.NewGenerator(seq, rand.New(rand.NewSource(req.SourceSeed)))
+	// Session rngs are xrand (splitmix64) streams: seeding a stdlib rand
+	// source costs a ~600-word table initialisation, which profiled as
+	// the single largest per-admission cost at fleet scale.
+	src, err := video.NewGenerator(seq, xrand.New(req.SourceSeed))
 	if err != nil {
 		return err
 	}
 	initial := experiments.InitialSettings(req.Res)
-	ctrl, err := factory(req.Res, initial, rand.New(rand.NewSource(req.ControllerSeed)))
+	ctrl, err := factory(req.Res, initial, xrand.New(req.ControllerSeed))
 	if err != nil {
 		return err
 	}
@@ -324,179 +371,393 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 
 // Run executes one service simulation as a single event-interleaved fleet:
 // the arrival process and every server's frame-level simulation advance on
-// one merged clock. Before each placement decision every engine is stepped
+// one merged clock. Before each placement decision the fleet is stepped
 // to the arrival instant, so departures at or before it — at their
 // *actual*, contention-stretched times — have already freed their slots,
-// and the policy decides from true occupancy. After the last arrival the
-// engines have no further interaction and drain to completion across the
-// worker pool; results are bit-identical for any worker count.
+// and the policy decides from true occupancy. The default indexed
+// dispatcher does this in O(k log servers) per arrival: a min-heap keyed
+// by each engine's next event time pops only the k servers with events
+// due (idle engines are never touched), server states update
+// incrementally on admission/departure, and the built-in policies place
+// through their fleet index. DispatchScan selects the O(servers)
+// reference sweep instead; the two produce bit-identical results. After
+// the last arrival the engines have no further interaction and drain to
+// completion across the worker pool; results are bit-identical for any
+// worker count.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	spec := platform.DefaultSpec()
+	d := &dispatcher{cfg: cfg, spec: platform.DefaultSpec(), model: hevc.DefaultModel(), catalog: cfg.Catalog}
 	if cfg.Spec != nil {
-		spec = *cfg.Spec
+		d.spec = *cfg.Spec
 	}
-	model := hevc.DefaultModel()
 	if cfg.Model != nil {
-		model = *cfg.Model
+		d.model = *cfg.Model
 	}
-	catalog := cfg.Catalog
-	if catalog == nil {
-		catalog = video.DefaultCatalog()
+	if d.catalog == nil {
+		d.catalog = video.DefaultCatalog()
 	}
-	exOpts := experiments.Options{Spec: spec, Model: model}
-	var store *KnowledgeStore
-	var pendingSeed *core.Snapshot
+	exOpts := experiments.Options{Spec: d.spec, Model: d.model}
 	if cfg.KnowledgeReuse {
-		store = NewKnowledgeStore()
+		d.store = NewKnowledgeStore()
 		// The factory seeds from the exact snapshot the dispatcher
 		// records as the admission's subtraction baseline (set right
 		// before each addSession), so baseline == seed by construction —
 		// delta harvesting cannot drift from what the controller
 		// actually absorbed, even if fold points move.
-		exOpts.WarmStart = func(video.Resolution) *core.Snapshot { return pendingSeed }
+		exOpts.WarmStart = func(video.Resolution) *core.Snapshot { return d.pendingSeed }
 	}
 	factory, err := experiments.Factory(cfg.Approach, exOpts)
 	if err != nil {
 		return nil, err
 	}
-	var pol Policy
+	d.factory = factory
 	if cfg.PolicyFactory != nil {
-		pol = cfg.PolicyFactory()
-		if pol == nil {
+		d.pol = cfg.PolicyFactory()
+		if d.pol == nil {
 			return nil, fmt.Errorf("serve: policy factory returned nil")
 		}
-	} else if pol, err = NewPolicy(cfg.Policy); err != nil {
+	} else if d.pol, err = NewPolicy(cfg.Policy); err != nil {
 		return nil, err
 	}
 
-	arrivals, err := GenerateArrivals(cfg.Workload, catalog, cfg.Seed)
+	arrivals, err := GenerateArrivals(cfg.Workload, d.catalog, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-
-	budget := powerBudgetW(spec)
-	estW := map[video.Resolution]float64{
-		video.HR: estSessionPowerW(spec, video.HR),
-		video.LR: estSessionPowerW(spec, video.LR),
+	if err := d.init(len(arrivals)); err != nil {
+		return nil, err
 	}
-	servers := make([]*fleetServer, cfg.Servers)
-	for i := range servers {
-		servers[i] = &fleetServer{}
-		if store != nil {
-			servers[i].harvest = make(map[int]harvestEntry)
-		}
-	}
-	states := make([]ServerState, cfg.Servers)
-	placements := make([]placement, 0, len(arrivals))
-	seeded := 0
 	for _, req := range arrivals {
-		t := req.ArriveAtSec
-		// Interleave: step every engine to the arrival instant. Departure
-		// hooks fire along the way and release their slots.
-		for _, fs := range servers {
-			if fs.eng != nil {
-				if err := fs.eng.AdvanceTo(t); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// Fold the departures the fleet surfaced on the way to t into the
-		// knowledge store, in arrival-ID order, before this arrival's
-		// placement and (possibly warm) controller construction.
-		if store != nil {
-			if err := foldDepartures(servers, store); err != nil {
-				return nil, err
-			}
-		}
-		for i, fs := range servers {
-			states[i] = ServerState{
-				Index:        i,
-				Active:       fs.hr + fs.lr,
-				HRActive:     fs.hr,
-				LRActive:     fs.lr,
-				MaxSessions:  cfg.MaxSessionsPerServer,
-				EstPowerW:    spec.IdlePowerW + float64(fs.hr)*estW[video.HR] + float64(fs.lr)*estW[video.LR],
-				EstArrivalW:  estW[req.Res],
-				PowerBudgetW: budget,
-			}
-		}
-		choice := pol.Place(req, states)
-		if choice < -1 || choice >= cfg.Servers {
-			// A deliberate reject is -1 and every other return must be a
-			// real server index: folding garbage into the rejection count
-			// would silently corrupt RejectionPct for buggy policies.
-			return nil, fmt.Errorf("serve: policy %q violated the placement contract: returned %d for arrival %d (valid: -1 to reject, 0..%d to place)",
-				pol.Name(), choice, req.ID, cfg.Servers-1)
-		}
-		if choice == -1 || states[choice].Full() {
-			placements = append(placements, placement{req: req, server: -1})
-			continue
-		}
-		fs := servers[choice]
-		if fs.eng == nil {
-			eng, err := transcode.NewEngine(spec, model, experiments.SubSeed(cfg.Seed, "serve|server", choice))
-			if err != nil {
-				return nil, err
-			}
-			fs.eng = eng
-			eng.OnSessionEnd(func(end transcode.SessionEnd) {
-				if end.Res == video.HR {
-					fs.hr--
-				} else {
-					fs.lr--
-				}
-				if fs.harvest == nil || fs.draining {
-					return
-				}
-				if entry, ok := fs.harvest[end.SessionID]; ok {
-					fs.pending = append(fs.pending, entry)
-					delete(fs.harvest, end.SessionID)
-				}
-			})
-		}
-		// Clone the class's current snapshot: the store keeps merging
-		// afterwards, so the admission needs a frozen copy that serves
-		// both as the controller's seed (via the WarmStart closure) and
-		// as the baseline its departing contribution is measured against.
-		var seedSnap *core.Snapshot
-		if store != nil {
-			if s := store.Seed(req.Res); s != nil {
-				cp := s.Clone()
-				seedSnap = &cp
-				seeded++
-			}
-		}
-		pendingSeed = seedSnap
-		if err := fs.addSession(req, cfg, catalog, factory, seedSnap); err != nil {
+		if err := d.place(req); err != nil {
 			return nil, err
 		}
-		placements = append(placements, placement{req: req, server: choice})
 	}
+	return d.finish()
+}
 
-	// Tail: no placement decisions remain, so the loaded engines are
-	// independent and drain to completion across the worker pool. The
-	// knowledge harvest closes here — drain departures can no longer
-	// affect an admission, and not folding them keeps the engines free of
-	// shared state.
-	for _, fs := range servers {
+// dispatcher is the live state of one service run's interleaved phase:
+// the fleet, the policy (with its optional index), the engine event heap
+// and the knowledge-harvest pipeline.
+type dispatcher struct {
+	cfg     Config
+	spec    platform.Spec
+	model   hevc.Model
+	catalog *video.Catalog
+	factory experiments.ControllerFactory
+	pol     Policy
+
+	// indexed selects the event-heap sweep and incremental server
+	// states (Config.Dispatch != DispatchScan); idx is additionally
+	// non-nil when the policy places through a fleet index.
+	indexed bool
+	idx     FleetIndex
+
+	estW   map[video.Resolution]float64
+	budget float64
+
+	servers []*fleetServer
+	states  []ServerState
+	evts    heaps.Heap[fleetEvent]
+	nextEvt []float64 // current heap key per server (+Inf = idle, not in heap)
+
+	// Knowledge reuse: the store, the seed snapshot the WarmStart
+	// closure hands the next controller, the cross-fleet departure batch
+	// awaiting its fold, and the warm-start count.
+	store       *KnowledgeStore
+	pendingSeed *core.Snapshot
+	pending     []harvestEntry
+	seeded      int
+
+	placements []placement
+}
+
+// init builds the per-server structures and the policy index.
+func (d *dispatcher) init(arrivals int) error {
+	cfg := d.cfg
+	d.budget = powerBudgetW(d.spec)
+	hrW, err := estSessionPowerW(d.spec, video.HR)
+	if err != nil {
+		return err
+	}
+	lrW, err := estSessionPowerW(d.spec, video.LR)
+	if err != nil {
+		return err
+	}
+	d.estW = map[video.Resolution]float64{video.HR: hrW, video.LR: lrW}
+	d.servers = make([]*fleetServer, cfg.Servers)
+	for i := range d.servers {
+		d.servers[i] = &fleetServer{}
+		if d.store != nil {
+			d.servers[i].harvest = make(map[int]harvestEntry)
+		}
+	}
+	d.states = make([]ServerState, cfg.Servers)
+	for i := range d.states {
+		d.states[i] = ServerState{
+			Index:       i,
+			MaxSessions: cfg.MaxSessionsPerServer,
+			// Idle power exactly: the incremental refresh expression with
+			// zero resident sessions reduces to the same float.
+			EstPowerW:    d.spec.IdlePowerW,
+			PowerBudgetW: d.budget,
+		}
+	}
+	d.placements = make([]placement, 0, arrivals)
+	d.indexed = cfg.Dispatch != DispatchScan
+	if d.indexed {
+		d.nextEvt = make([]float64, cfg.Servers)
+		for i := range d.nextEvt {
+			d.nextEvt[i] = math.Inf(1)
+		}
+		if fi, ok := d.pol.(FleetIndexer); ok {
+			d.idx = fi.NewFleetIndex(d.states)
+		}
+	}
+	return nil
+}
+
+// place steps the fleet to the arrival instant, folds any departures
+// into the knowledge store and dispatches the arrival.
+func (d *dispatcher) place(req SessionRequest) error {
+	if err := d.sweepTo(req.ArriveAtSec); err != nil {
+		return err
+	}
+	// Fold the departures the fleet surfaced on the way to the arrival
+	// into the knowledge store, in arrival-ID order, before this
+	// arrival's placement and (possibly warm) controller construction.
+	if d.store != nil {
+		if err := d.foldDepartures(); err != nil {
+			return err
+		}
+	}
+	var choice int
+	if d.idx != nil {
+		choice = d.idx.Place(req)
+	} else {
+		d.refreshScanStates(req)
+		choice = d.pol.Place(req, d.states)
+	}
+	if choice < -1 || choice >= d.cfg.Servers {
+		// A deliberate reject is -1 and every other return must be a
+		// real server index: folding garbage into the rejection count
+		// would silently corrupt RejectionPct for buggy policies.
+		return fmt.Errorf("serve: policy %q violated the placement contract: returned %d for arrival %d (valid: -1 to reject, 0..%d to place)",
+			d.pol.Name(), choice, req.ID, d.cfg.Servers-1)
+	}
+	if choice == -1 || d.states[choice].Full() {
+		d.placements = append(d.placements, placement{req: req, server: -1})
+		return nil
+	}
+	fs := d.servers[choice]
+	if fs.eng == nil {
+		if err := d.createEngine(choice); err != nil {
+			return err
+		}
+	}
+	// Clone the class's current snapshot: the store keeps merging
+	// afterwards, so the admission needs a frozen copy that serves
+	// both as the controller's seed (via the WarmStart closure) and
+	// as the baseline its departing contribution is measured against.
+	var seedSnap *core.Snapshot
+	if d.store != nil {
+		if s := d.store.Seed(req.Res); s != nil {
+			cp := s.Clone()
+			seedSnap = &cp
+			d.seeded++
+		}
+	}
+	d.pendingSeed = seedSnap
+	if err := fs.addSession(req, d.cfg, d.catalog, d.factory, seedSnap); err != nil {
+		return err
+	}
+	if d.indexed {
+		d.refreshState(choice)
+		// The admission scheduled an arrival event at this very instant
+		// on the server's engine; re-key it so the next sweep steps the
+		// engine through the session start.
+		d.scheduleServer(choice)
+	}
+	d.placements = append(d.placements, placement{req: req, server: choice})
+	return nil
+}
+
+// sweepTo advances the fleet to the arrival instant. The indexed path
+// pops only engines whose next event is due at or before it — idle or
+// empty engines are never touched — so the sweep costs O(k log servers)
+// for the k servers with events. Advancing an engine lazily is exact:
+// the transcode engine settles its energy/thermal/virtual-clock
+// integration at events, never at parks, so skipped parks cannot shift
+// any result (see transcode.Engine.AdvanceTo). The scan path advances
+// every live engine, as the reference dispatcher did.
+func (d *dispatcher) sweepTo(t float64) error {
+	if !d.indexed {
+		for _, fs := range d.servers {
+			if fs.eng != nil {
+				if err := fs.eng.AdvanceTo(t); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for d.evts.Len() > 0 && d.evts.Peek().key <= t {
+		ent := d.evts.Pop()
+		if ent.key != d.nextEvt[ent.id] {
+			continue // stale: the engine was re-keyed after this push
+		}
+		if err := d.servers[ent.id].eng.AdvanceTo(t); err != nil {
+			return err
+		}
+		d.scheduleServer(ent.id)
+	}
+	return nil
+}
+
+// scheduleServer re-keys one engine in the event heap from its next
+// pending event; idle engines (+Inf) leave the heap entirely. Old heap
+// entries are invalidated by the key change and discarded when popped.
+func (d *dispatcher) scheduleServer(i int) {
+	next := d.servers[i].eng.NextEventTime()
+	d.nextEvt[i] = next
+	if !math.IsInf(next, 1) {
+		d.evts.Push(fleetEvent{key: next, id: i})
+	}
+}
+
+// refreshState rebuilds one server's incrementally maintained state from
+// its resident counts — evaluating the same expression the scan path
+// uses, so both paths compare identical floats — and forwards it to the
+// policy's fleet index.
+func (d *dispatcher) refreshState(i int) {
+	fs := d.servers[i]
+	s := &d.states[i]
+	s.Active = fs.hr + fs.lr
+	s.HRActive = fs.hr
+	s.LRActive = fs.lr
+	s.EstPowerW = d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR]
+	if d.idx != nil {
+		d.idx.Update(*s)
+	}
+}
+
+// refreshScanStates prepares the full state slice for a policy that
+// scans it. In scan mode the slice is rebuilt from the resident counts
+// per arrival (the reference behaviour); in indexed mode occupancy and
+// power are already current and only the arrival's class-specific
+// EstArrivalW needs stamping.
+func (d *dispatcher) refreshScanStates(req SessionRequest) {
+	aw := d.estW[req.Res]
+	if d.indexed {
+		for i := range d.states {
+			d.states[i].EstArrivalW = aw
+		}
+		return
+	}
+	for i, fs := range d.servers {
+		d.states[i] = ServerState{
+			Index:        i,
+			Active:       fs.hr + fs.lr,
+			HRActive:     fs.hr,
+			LRActive:     fs.lr,
+			MaxSessions:  d.cfg.MaxSessionsPerServer,
+			EstPowerW:    d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR],
+			EstArrivalW:  aw,
+			PowerBudgetW: d.budget,
+		}
+	}
+}
+
+// createEngine builds server i's engine on first admission and installs
+// the departure hook that releases slots, refreshes the incremental
+// state and queues knowledge harvests.
+func (d *dispatcher) createEngine(i int) error {
+	eng, err := transcode.NewEngine(d.spec, d.model, experiments.SubSeed(d.cfg.Seed, "serve|server", i))
+	if err != nil {
+		return err
+	}
+	fs := d.servers[i]
+	fs.eng = eng
+	eng.OnSessionEnd(func(end transcode.SessionEnd) {
+		if end.Res == video.HR {
+			fs.hr--
+		} else {
+			fs.lr--
+		}
+		if fs.draining {
+			// No placement can observe drain departures, and the drain
+			// runs engines concurrently: shared dispatcher state (the
+			// state slice, the policy index, the harvest batch) must not
+			// be touched from here.
+			return
+		}
+		if d.indexed {
+			d.refreshState(i)
+		}
+		if fs.harvest != nil {
+			if entry, ok := fs.harvest[end.SessionID]; ok {
+				d.pending = append(d.pending, entry)
+				delete(fs.harvest, end.SessionID)
+			}
+		}
+	})
+	return nil
+}
+
+// foldDepartures folds every departure the fleet has surfaced since the
+// last fold into the knowledge store, in arrival-ID order across all
+// servers. The fixed order pins the floating-point fold sequence, so the
+// store contents — and every snapshot later admissions are seeded from —
+// depend only on the workload and seed. (Both dispatch paths surface the
+// same departures before an arrival — a departure is an engine event —
+// so the folded batches are identical.)
+func (d *dispatcher) foldDepartures() error {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	sort.Slice(d.pending, func(i, j int) bool { return d.pending[i].reqID < d.pending[j].reqID })
+	for _, e := range d.pending {
+		snap := e.ctrl.Snapshot()
+		if e.seeded != nil {
+			// Contribute the session's own experience only: keep its
+			// final Q estimates but weight them by the visits it made
+			// itself, not by the recycled seed mass.
+			if err := snap.SubtractCounts(*e.seeded); err != nil {
+				return err
+			}
+		}
+		if err := d.store.Contribute(e.res, snap); err != nil {
+			return err
+		}
+	}
+	d.pending = d.pending[:0]
+	return nil
+}
+
+// finish drains the loaded engines across the worker pool and aggregates
+// the service result. No placement decisions remain, so the engines are
+// independent; the knowledge harvest closes here — drain departures can
+// no longer affect an admission, and not folding them keeps the engines
+// free of shared state.
+func (d *dispatcher) finish() (*Result, error) {
+	cfg := d.cfg
+	for _, fs := range d.servers {
 		fs.draining = true
 	}
 	// perServer[i] lists server i's admissions in placement order, which
 	// is also its engine's AddSession order — aggregate relies on that
 	// alignment.
 	perServer := make([][]SessionRequest, cfg.Servers)
-	for _, p := range placements {
+	for _, p := range d.placements {
 		if p.server >= 0 {
 			perServer[p.server] = append(perServer[p.server], p.req)
 		}
 	}
 	var units []experiments.Unit[*transcode.Result]
 	unitServer := make([]int, 0, cfg.Servers)
-	for i, fs := range servers {
+	for i, fs := range d.servers {
 		if fs.eng == nil {
 			continue
 		}
@@ -514,47 +775,31 @@ func Run(cfg Config) (*Result, error) {
 	for u, srv := range unitServer {
 		engRes[srv] = outs[u]
 	}
-	res, err := aggregate(cfg, spec, pol.Name(), placements, perServer, engRes)
+	res, err := aggregate(cfg, d.spec, d.pol.Name(), d.placements, perServer, engRes)
 	if err != nil {
 		return nil, err
 	}
-	if store != nil {
-		res.KnowledgeContributions = store.Contributions(video.HR) + store.Contributions(video.LR)
-		res.KnowledgeSeeded = seeded
+	if d.store != nil {
+		res.KnowledgeContributions = d.store.Contributions(video.HR) + d.store.Contributions(video.LR)
+		res.KnowledgeSeeded = d.seeded
 	}
 	return res, nil
 }
 
-// foldDepartures folds every departure the fleet has surfaced since the
-// last fold into the knowledge store, in arrival-ID order across all
-// servers. The fixed order pins the floating-point fold sequence, so the
-// store contents — and every snapshot later admissions are seeded from —
-// depend only on the workload and seed.
-func foldDepartures(servers []*fleetServer, store *KnowledgeStore) error {
-	var batch []harvestEntry
-	for _, fs := range servers {
-		batch = append(batch, fs.pending...)
-		fs.pending = fs.pending[:0]
+// fleetEvent is one engine-heap entry: the next event time a server's
+// engine reported when it was (re-)keyed.
+type fleetEvent struct {
+	key float64
+	id  int
+}
+
+// Less orders the dispatcher's engine heap by next event time, server
+// index tie-break.
+func (e fleetEvent) Less(o fleetEvent) bool {
+	if e.key != o.key {
+		return e.key < o.key
 	}
-	if len(batch) == 0 {
-		return nil
-	}
-	sort.Slice(batch, func(i, j int) bool { return batch[i].reqID < batch[j].reqID })
-	for _, e := range batch {
-		snap := e.ctrl.Snapshot()
-		if e.seeded != nil {
-			// Contribute the session's own experience only: keep its
-			// final Q estimates but weight them by the visits it made
-			// itself, not by the recycled seed mass.
-			if err := snap.SubtractCounts(*e.seeded); err != nil {
-				return err
-			}
-		}
-		if err := store.Contribute(e.res, snap); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.id < o.id
 }
 
 // aggregate folds the dispatch log and the per-server simulation results

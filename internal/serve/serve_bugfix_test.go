@@ -64,6 +64,35 @@ func TestPolicyContractViolationIsAnError(t *testing.T) {
 	}
 }
 
+// TestMalformedSpecIsConfigError: a custom platform.Spec the dispatcher's
+// power estimation cannot work with (here: an empty DVFS ladder) must
+// surface as a config error from Validate and Run — the seed dispatcher
+// crashed the process via panic(err) in estSessionPowerW instead.
+func TestMalformedSpecIsConfigError(t *testing.T) {
+	bad := platform.DefaultSpec()
+	bad.Ladder = nil
+	cfg := Config{
+		Servers:  2,
+		Approach: experiments.Heuristic,
+		Spec:     &bad,
+		Workload: Workload{ArrivalRate: 1, DurationSec: 10},
+		Seed:     1,
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Error("malformed spec passed validation")
+	} else if !strings.Contains(err.Error(), "platform spec") {
+		t.Errorf("unexpected validation error: %v", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Run panicked on a malformed spec: %v", r)
+		}
+	}()
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted a malformed spec")
+	}
+}
+
 // TestAggregatePowerErrorHandling: "no samples in the window" keeps the
 // documented idle-power fallback, while a real TimeWeightedPower error
 // propagates instead of silently reporting a loaded server at idle

@@ -8,6 +8,7 @@ import (
 	"mamut/internal/hevc"
 	"mamut/internal/platform"
 	"mamut/internal/video"
+	"mamut/internal/xrand"
 )
 
 // DefaultTargetFPS is the real-time target frame rate of the paper.
@@ -164,6 +165,7 @@ type Engine struct {
 	rng      *rand.Rand
 	now      float64 // real simulated time
 	vnow     float64 // virtual service time (integral of scale*throttle dt)
+	segStart float64 // time energy/thermal/vnow are settled up to (<= now)
 	energy   float64
 	thermal  *platform.ThermalState
 	acct     *platform.LoadAccount
@@ -181,13 +183,16 @@ type Engine struct {
 
 // NewEngine builds an engine over the given platform spec and encoder
 // model. The seed drives all stochastic parts owned by the engine (power
-// metering and encoder noise); video sources carry their own rngs.
+// metering and encoder noise); video sources carry their own rngs. The
+// engine's rng streams are xrand (splitmix64) streams: sources seed in
+// O(1), so creating an engine — and admitting a session, which seeds the
+// encoder's noise rng — stays cheap on a serving fleet's admission path.
 func NewEngine(spec platform.Spec, model hevc.Model, seed int64) (*Engine, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	srv, err := platform.NewServer(spec, rand.New(rand.NewSource(rng.Int63())))
+	rng := xrand.New(seed)
+	srv, err := platform.NewServer(spec, xrand.New(rng.Int63()))
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +260,7 @@ func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
 	if cfg.Preset != nil {
 		preset = *cfg.Preset
 	}
-	enc, err := hevc.NewEncoder(cfg.Source.Res(), preset, e.model, rand.New(rand.NewSource(e.rng.Int63())))
+	enc, err := hevc.NewEncoder(cfg.Source.Res(), preset, e.model, xrand.New(e.rng.Int63()))
 	if err != nil {
 		return 0, err
 	}
@@ -323,11 +328,18 @@ func (e *Engine) RunUntilAll() (*Result, error) {
 
 // AdvanceTo steps the simulation to the given absolute time: every frame
 // completion, departure and arrival at or before it is processed, and the
-// clock (with its energy and thermal accounting) lands exactly on t. It
-// lets an outer event loop interleave this engine with other event
-// sources — other servers of a fleet, a dispatcher placing arrivals — and
-// observe actual session lifetimes as they happen. Times at or before the
-// current clock are a no-op.
+// clock lands exactly on t. It lets an outer event loop interleave this
+// engine with other event sources — other servers of a fleet, a
+// dispatcher placing arrivals — and observe actual session lifetimes as
+// they happen. Times at or before the current clock are a no-op.
+//
+// Between events the engine's state (contention scale, power, throttle
+// factor) is constant, so energy, thermal and virtual-clock integration
+// is settled lazily at the next event rather than at every AdvanceTo
+// call: parking the clock is O(1) and results are bit-identical no
+// matter how often (or rarely) a caller steps an idle engine. Fleet
+// dispatchers exploit this by consulting NextEventTime and skipping
+// engines with nothing pending.
 func (e *Engine) AdvanceTo(t float64) error {
 	if math.IsInf(t, 1) || math.IsNaN(t) {
 		return fmt.Errorf("transcode: AdvanceTo time must be finite")
@@ -338,23 +350,51 @@ func (e *Engine) AdvanceTo(t float64) error {
 	return e.advance(t, false)
 }
 
+// NextEventTime returns the simulated wall-clock time of the engine's
+// earliest pending event: the head of the completion heap translated
+// through the current virtual-clock speed (contention scale x thermal
+// throttle), or the next scheduled session arrival, whichever is sooner.
+// It returns +Inf when nothing is pending — advancing an idle engine
+// processes no event, so a fleet dispatcher can skip it entirely. The
+// returned time is exactly the instant AdvanceTo would process the event
+// at (the speed only changes when an event is processed).
+func (e *Engine) NextEventTime() float64 {
+	t := math.Inf(1)
+	if e.finished {
+		return t
+	}
+	if len(e.compl) > 0 {
+		_, speed := e.segRates()
+		if speed <= 0 {
+			// Defensive: advancing will surface the no-progress error.
+			return e.now
+		}
+		t = e.completionTime(speed)
+	}
+	if len(e.arrivals) > 0 && e.arrivals[0].key < t {
+		t = e.arrivals[0].key
+		if t < e.now {
+			t = e.now
+		}
+	}
+	return t
+}
+
 // advance is the event loop: it processes events in time order until the
 // limit (exclusive of events strictly beyond it), then parks the clock at
-// the limit when finite.
+// the limit when finite. Parking does not integrate anything: the
+// energy/thermal/virtual-clock accounting of the running segment is
+// settled in one step when the next event fires (or in buildResult),
+// which both makes parking an idle engine O(1) and makes the simulation
+// independent of how an outer loop slices its AdvanceTo calls.
 func (e *Engine) advance(limit float64, untilAll bool) error {
 	for {
 		if untilAll && e.allReachedBudget() {
 			return nil
 		}
-		// Throttle factor and contention scale for the next segment: both
-		// are uniform across sessions, so together they set the speed of
-		// the virtual clock.
-		f := 1.0
-		if e.thermal != nil && e.thermal.Throttled() {
-			f = e.thermal.ThrottleFactor()
-		}
-		speed := e.acct.Scale() * f
-		powerIdeal := e.server.Spec().IdlePowerW + e.acct.DynPowerW()*f
+		// Power and virtual-clock speed of the current segment: both are
+		// uniform across sessions and constant until the next event.
+		powerIdeal, speed := e.segRates()
 
 		// Next event: the earliest pending frame completion or arrival.
 		tNext := math.Inf(1)
@@ -363,14 +403,7 @@ func (e *Engine) advance(limit float64, untilAll bool) error {
 			if speed <= 0 {
 				return fmt.Errorf("transcode: no progress at t=%.3f", e.now)
 			}
-			dv := e.compl[0].key - e.vnow
-			if dv < 0 {
-				dv = 0
-			}
-			tNext = e.now + dv/speed
-			if tNext < e.now {
-				tNext = e.now
-			}
+			tNext = e.completionTime(speed)
 			completion = true
 		}
 		if len(e.arrivals) > 0 && e.arrivals[0].key < tNext {
@@ -386,7 +419,7 @@ func (e *Engine) advance(limit float64, untilAll bool) error {
 		if math.IsInf(tNext, 1) || tNext > limit {
 			// Nothing to process inside the limit: park the clock on it.
 			if !math.IsInf(limit, 1) && limit > e.now {
-				e.advanceClock(limit, powerIdeal, speed)
+				e.now = limit
 			}
 			return nil
 		}
@@ -396,7 +429,10 @@ func (e *Engine) advance(limit float64, untilAll bool) error {
 			return fmt.Errorf("transcode: event budget exhausted (%d events for %d frames)", e.events, e.framesDone)
 		}
 
-		e.advanceClock(tNext, powerIdeal, speed)
+		e.settle(tNext, powerIdeal, speed)
+		if tNext > e.now {
+			e.now = tNext
+		}
 		if !completion {
 			// Process every arrival due now, in (time, id) order.
 			for len(e.arrivals) > 0 && e.arrivals[0].key <= e.now {
@@ -439,23 +475,51 @@ func (e *Engine) advance(limit float64, untilAll bool) error {
 	}
 }
 
-// advanceClock moves real time to t, integrating energy, the thermal
-// model and the virtual clock over the segment at the given (constant)
-// power and virtual speed.
-func (e *Engine) advanceClock(t, powerIdeal, speed float64) {
-	dt := t - e.now
-	if dt <= 0 {
-		e.now = t
-		return
+// segRates returns the package power and virtual-clock speed of the
+// current segment. Both only change when an event is processed (a load
+// joins, leaves or is re-shaped; the thermal state steps), so they hold
+// from the last settled point to the next event regardless of clock
+// parks in between.
+func (e *Engine) segRates() (powerIdeal, speed float64) {
+	f := 1.0
+	if e.thermal != nil && e.thermal.Throttled() {
+		f = e.thermal.ThrottleFactor()
 	}
-	e.energy += powerIdeal * dt
-	if e.thermal != nil {
-		e.thermal.Advance(powerIdeal, dt)
+	return e.server.Spec().IdlePowerW + e.acct.DynPowerW()*f, e.acct.Scale() * f
+}
+
+// completionTime translates the completion heap's head from virtual
+// service time to wall time. It anchors at the settled segment start —
+// not at a possibly parked clock — so the computed instant is identical
+// however the caller sliced its AdvanceTo steps.
+func (e *Engine) completionTime(speed float64) float64 {
+	dv := e.compl[0].key - e.vnow
+	if dv < 0 {
+		dv = 0
 	}
-	if len(e.compl) > 0 {
-		e.vnow += speed * dt
+	t := e.segStart + dv/speed
+	if t < e.now {
+		t = e.now
 	}
-	e.now = t
+	return t
+}
+
+// settle integrates energy, the thermal model and the virtual clock over
+// [segStart, t] at the given (constant) segment power and speed. Because
+// the whole pending span is integrated in one step, the accounting is
+// independent of how many times the clock was parked inside it.
+func (e *Engine) settle(t, powerIdeal, speed float64) {
+	dt := t - e.segStart
+	if dt > 0 {
+		e.energy += powerIdeal * dt
+		if e.thermal != nil {
+			e.thermal.Advance(powerIdeal, dt)
+		}
+		if len(e.compl) > 0 {
+			e.vnow += speed * dt
+		}
+	}
+	e.segStart = t
 }
 
 // allReachedBudget reports whether every session has transcoded at least
@@ -625,6 +689,12 @@ func (e *Engine) depart(s *session) {
 }
 
 func (e *Engine) buildResult() *Result {
+	// A park (AdvanceTo beyond the last event) leaves the tail segment
+	// unsettled; fold it in so duration, energy and in-flight dynamic
+	// energy agree with the clock. Settling to the current instant is
+	// idempotent, so repeated result builds stay consistent.
+	powerIdeal, speed := e.segRates()
+	e.settle(e.now, powerIdeal, speed)
 	res := &Result{DurationSec: e.now, EnergyJ: e.energy}
 	if e.now > 0 {
 		res.AvgPowerW = e.energy / e.now

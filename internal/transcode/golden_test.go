@@ -15,10 +15,14 @@ import (
 
 // -update regenerates testdata/golden_mix.json from the linear reference
 // simulator (reference_test.go), which reproduces the pre-refactor engine
-// semantics operation for operation. The committed file was generated by
-// the pre-refactor engine itself; TestReferenceReproducesGoldenExactly
-// proves the reference is a faithful port, and TestEngineMatchesGolden
-// holds the event-scheduled engine to it.
+// semantics operation for operation.
+// TestReferenceReproducesGoldenExactly holds the reference to the golden
+// bit for bit, and TestEngineMatchesGolden holds the event-scheduled
+// engine to it within goldenTimeTol. (The committed golden was
+// regenerated when the engine's internal rng streams moved to xrand
+// splitmix64 sources — O(1) seeding on the fleet admission path; the
+// regeneration came from the reference with the same streams, so the
+// linear-vs-event-scheduled equivalence the golden pins is unchanged.)
 var update = flag.Bool("update", false, "regenerate golden testdata")
 
 const goldenPath = "testdata/golden_mix.json"
@@ -201,8 +205,12 @@ func TestEngineMatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if *update {
-		writeGolden(t, toGolden(res))
-		return
+		// The golden is regenerated from the linear reference
+		// (TestReferenceReproducesGoldenExactly), which must match it with
+		// zero tolerance; the event-scheduled engine only matches within
+		// goldenTimeTol, so writing its output here would poison the
+		// exactness check.
+		t.Skip("regenerating golden data from the reference simulator")
 	}
 	g := loadGolden(t)
 	compareToGolden(t, g, res, goldenTimeTol)

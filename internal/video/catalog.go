@@ -13,12 +13,21 @@ import (
 // (RaceHorses) material.
 type Catalog struct {
 	seqs map[string]*Sequence
+	// names and byRes are precomputed at construction (a catalog is
+	// immutable once built): Pick sits on the serving fleet's per-arrival
+	// path, where rebuilding and re-sorting the pool for every draw
+	// dominated the arrival-generation cost.
+	names []string
+	byRes map[Resolution][]*Sequence
 }
 
 // NewCatalog builds a catalog from the given sequences. Names must be
 // unique and every sequence must validate.
 func NewCatalog(seqs ...*Sequence) (*Catalog, error) {
-	c := &Catalog{seqs: make(map[string]*Sequence, len(seqs))}
+	c := &Catalog{
+		seqs:  make(map[string]*Sequence, len(seqs)),
+		byRes: make(map[Resolution][]*Sequence),
+	}
 	for _, s := range seqs {
 		if err := s.Validate(); err != nil {
 			return nil, err
@@ -27,6 +36,14 @@ func NewCatalog(seqs ...*Sequence) (*Catalog, error) {
 			return nil, fmt.Errorf("video: duplicate sequence name %q", s.Name)
 		}
 		c.seqs[s.Name] = s
+	}
+	for n := range c.seqs {
+		c.names = append(c.names, n)
+	}
+	sort.Strings(c.names)
+	for _, n := range c.names {
+		s := c.seqs[n]
+		c.byRes[s.Res] = append(c.byRes[s.Res], s)
 	}
 	return c, nil
 }
@@ -67,26 +84,17 @@ func (c *Catalog) Get(name string) (*Sequence, error) {
 	return s, nil
 }
 
-// Names returns all sequence names in deterministic (sorted) order.
+// Names returns all sequence names in deterministic (sorted) order. The
+// returned slice is a copy; callers may modify it.
 func (c *Catalog) Names() []string {
-	names := make([]string, 0, len(c.seqs))
-	for n := range c.seqs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return append([]string(nil), c.names...)
 }
 
 // ByResolution returns the sequences of one resolution class in
-// deterministic (name-sorted) order.
+// deterministic (name-sorted) order. The returned slice is a copy;
+// callers may modify it.
 func (c *Catalog) ByResolution(r Resolution) []*Sequence {
-	var out []*Sequence
-	for _, n := range c.Names() {
-		if s := c.seqs[n]; s.Res == r {
-			out = append(out, s)
-		}
-	}
-	return out
+	return append([]*Sequence(nil), c.byRes[r]...)
 }
 
 // Len returns the number of sequences in the catalog.
@@ -94,7 +102,7 @@ func (c *Catalog) Len() int { return len(c.seqs) }
 
 // Pick returns a uniformly random sequence of the given resolution class.
 func (c *Catalog) Pick(r Resolution, rng *rand.Rand) (*Sequence, error) {
-	pool := c.ByResolution(r)
+	pool := c.byRes[r]
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("video: catalog has no %s sequences", r)
 	}

@@ -348,8 +348,16 @@ type (
 	ServeClassStats = serve.ClassStats
 	// PlacementPolicy decides which server admits an arrival.
 	PlacementPolicy = serve.Policy
+	// PlacementFleetIndexer marks a PlacementPolicy that can place from
+	// an incrementally maintained fleet index (O(log n) placement); all
+	// built-in policies implement it.
+	PlacementFleetIndexer = serve.FleetIndexer
+	// PlacementFleetIndex is a policy's incremental view of the fleet.
+	PlacementFleetIndex = serve.FleetIndex
 	// ServerState is the dispatcher's view a policy decides from.
 	ServerState = serve.ServerState
+	// ServeDispatchMode selects the fleet dispatcher implementation.
+	ServeDispatchMode = serve.DispatchMode
 	// ServeGridSpec spans a (policy x arrival-rate x seed) grid.
 	ServeGridSpec = serve.GridSpec
 	// ServeGridCell couples one grid coordinate with its result.
@@ -373,6 +381,16 @@ const (
 	PolicyRoundRobin  = serve.PolicyRoundRobin
 	PolicyLeastLoaded = serve.PolicyLeastLoaded
 	PolicyPowerAware  = serve.PolicyPowerAware
+)
+
+// Fleet dispatcher implementations. DispatchIndexed (the default)
+// advances only servers with events due before each arrival via an
+// engine event heap and places through the policies' fleet indexes, so
+// dispatch costs O(log n) in the fleet size; DispatchScan is the
+// O(servers) reference sweep. Both produce bit-identical results.
+const (
+	DispatchIndexed = serve.DispatchIndexed
+	DispatchScan    = serve.DispatchScan
 )
 
 // Load curves for ServeWorkload.
