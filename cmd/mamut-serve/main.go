@@ -22,7 +22,22 @@
 // admissions are seeded from it, so short-lived sessions skip straight
 // past exploration. Knowledge folds in arrival-ID order at the
 // event-interleaved departure instants, so output stays byte-identical
-// for any -workers count.
+// for any -workers count. -knowledge-out exports the run's store as a
+// versioned, hash-stamped artifact and -knowledge-in warm-starts a later
+// fleet from one (both imply -knowledge); the importer verifies the
+// payload digest, so a corrupted artifact is rejected instead of
+// silently poisoning every warm start.
+//
+// Metrics stream: power, utilization, class statistics and FPS/duration
+// quantile sketches fold into constant-size accumulators as sessions
+// depart, so memory stays O(active sessions) over arbitrarily long
+// horizons. -quantiles adds the per-class p50/p95/p99 and time-decayed
+// window stats to the summary.
+//
+// Grid mode (-policies/-rates/-seeds) fans the (policy x rate x seed)
+// product across the worker pool. With -checkpoint FILE each cell's
+// result streams to FILE as it completes and an interrupted grid
+// resumes from it bit-identically, recomputing only the missing cells.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run, so fleet
 // hot paths can be profiled without a custom harness.
@@ -32,9 +47,13 @@
 //	mamut-serve -servers 4 -arrival-rate 0.5 -policy power -duration 600
 //	mamut-serve -servers 2 -arrival-rate 0.3 -curve diurnal -format csv
 //	mamut-serve -servers 2 -arrival-rate 0.4 -mean-session 15 -knowledge
+//	mamut-serve -servers 2 -mean-session 15 -knowledge-out kb.json
+//	mamut-serve -servers 2 -mean-session 15 -knowledge-in kb.json -seed 2
 //	mamut-serve -servers 5000 -arrival-rate 100 -duration 60 -cpuprofile cpu.pprof
 //	mamut-serve -servers 2 -policies round-robin,least-loaded,power \
 //	    -rates 0.2,0.4,0.8 -seeds 1,2,3        # (policy x rate x seed) grid
+//	mamut-serve -servers 2 -policies round-robin,power -seeds 1,2 \
+//	    -checkpoint grid.ckpt                  # resumable grid
 package main
 
 import (
@@ -73,6 +92,10 @@ func main() {
 		policies   = flag.String("policies", "", "grid mode: comma-separated policies (with -rates/-seeds)")
 		rates      = flag.String("rates", "", "grid mode: comma-separated arrival rates")
 		seeds      = flag.String("seeds", "", "grid mode: comma-separated seeds")
+		quantiles  = flag.Bool("quantiles", false, "summary: also print streamed FPS/duration quantiles and windowed stats")
+		knowIn     = flag.String("knowledge-in", "", "import a knowledge artifact and warm-start the fleet from it (implies -knowledge)")
+		knowOut    = flag.String("knowledge-out", "", "export the run's knowledge store to this file (implies -knowledge)")
+		checkpoint = flag.String("checkpoint", "", "grid mode: stream per-cell results to this file and resume from it")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -115,10 +138,21 @@ func main() {
 		},
 		WarmupSec:      *warmup,
 		SLOFPSFactor:   *slo,
-		KnowledgeReuse: *knowledge,
+		KnowledgeReuse: *knowledge || *knowIn != "" || *knowOut != "",
 		Dispatch:       mamut.ServeDispatchMode(*dispatch),
 		Seed:           *seed,
 		Workers:        *workers,
+	}
+	opts := runOpts{
+		format:       *format,
+		policies:     *policies,
+		rates:        *rates,
+		seeds:        *seeds,
+		workers:      *workers,
+		quantiles:    *quantiles,
+		knowledgeIn:  *knowIn,
+		knowledgeOut: *knowOut,
+		checkpoint:   *checkpoint,
 	}
 
 	var cpuFile *os.File
@@ -132,7 +166,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	err := run(os.Stdout, cfg, *format, *policies, *rates, *seeds, *workers)
+	err := run(os.Stdout, cfg, opts)
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuFile.Close(); cerr != nil {
@@ -157,43 +191,102 @@ func main() {
 	}
 }
 
+// runOpts carries the report- and persistence-level options of one
+// invocation, separate from the simulation config.
+type runOpts struct {
+	format                    string
+	policies, rates, seeds    string
+	workers                   int
+	quantiles                 bool
+	knowledgeIn, knowledgeOut string
+	checkpoint                string
+}
+
+func (o runOpts) gridMode() bool { return o.policies != "" || o.rates != "" || o.seeds != "" }
+
 // run executes one service run (or a grid) and writes the report.
-func run(w io.Writer, cfg mamut.ServeConfig, format, policies, rates, seeds string, workers int) error {
-	if policies != "" || rates != "" || seeds != "" {
-		return runGrid(w, cfg, policies, rates, seeds, workers)
+func run(w io.Writer, cfg mamut.ServeConfig, opts runOpts) error {
+	if opts.gridMode() {
+		if opts.knowledgeIn != "" || opts.knowledgeOut != "" {
+			return fmt.Errorf("-knowledge-in/-knowledge-out apply to single runs, not grids")
+		}
+		return runGrid(w, cfg, opts)
+	}
+	if opts.checkpoint != "" {
+		return fmt.Errorf("-checkpoint applies to grid mode (-policies/-rates/-seeds)")
+	}
+	if opts.knowledgeIn != "" {
+		f, err := os.Open(opts.knowledgeIn)
+		if err != nil {
+			return err
+		}
+		ks, err := mamut.ImportKnowledge(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Knowledge = ks
 	}
 	res, err := mamut.RunService(cfg)
 	if err != nil {
 		return err
 	}
-	switch format {
+	switch opts.format {
 	case "summary":
 		printSummary(w, cfg, res)
+		if opts.quantiles {
+			printQuantiles(w, res)
+		}
 	case "csv":
 		printCSV(w, res)
 	default:
-		return fmt.Errorf("unknown format %q (summary|csv)", format)
+		return fmt.Errorf("unknown format %q (summary|csv)", opts.format)
+	}
+	if opts.knowledgeOut != "" {
+		if res.Knowledge == nil {
+			return fmt.Errorf("run produced no knowledge store to export")
+		}
+		f, err := os.Create(opts.knowledgeOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Knowledge.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func runGrid(w io.Writer, base mamut.ServeConfig, policies, rates, seeds string, workers int) error {
-	spec := mamut.ServeGridSpec{Base: base, Workers: workers}
+func runGrid(w io.Writer, base mamut.ServeConfig, opts runOpts) error {
+	spec := mamut.ServeGridSpec{Base: base, Workers: opts.workers}
 	var err error
-	if policies != "" {
-		if spec.Policies, err = cliutil.ParseStrings(policies); err != nil {
+	if opts.policies != "" {
+		if spec.Policies, err = cliutil.ParseStrings(opts.policies); err != nil {
 			return err
 		}
 	}
-	if rates != "" {
-		if spec.ArrivalRates, err = cliutil.ParseFloats(rates); err != nil {
+	if opts.rates != "" {
+		if spec.ArrivalRates, err = cliutil.ParseFloats(opts.rates); err != nil {
 			return err
 		}
 	}
-	if seeds != "" {
-		if spec.Seeds, err = cliutil.ParseInt64s(seeds); err != nil {
+	if opts.seeds != "" {
+		if spec.Seeds, err = cliutil.ParseInt64s(opts.seeds); err != nil {
 			return err
 		}
+	}
+	if opts.checkpoint != "" {
+		ck, err := mamut.OpenServeCheckpoint(opts.checkpoint)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		fmt.Fprintf(os.Stderr, "mamut-serve: checkpoint: %d completed cells on file\n", ck.Entries())
+		spec.Checkpoint = ck
 	}
 	cells, err := mamut.RunServiceGrid(spec)
 	if err != nil {
@@ -244,6 +337,23 @@ func printSummary(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 		fmt.Fprintf(w, "%6d  %8d  %4d  %8.1f  %11.1f\n",
 			s.Index, s.Sessions, s.PeakActive, s.UtilizationPct, s.AvgPowerW)
 	}
+}
+
+// printQuantiles reports the streamed per-class distributions and the
+// time-decayed window stats. A separate block behind -quantiles so the
+// default summary bytes stay stable.
+func printQuantiles(w io.Writer, r *mamut.ServeResult) {
+	for _, cls := range []struct {
+		name string
+		dist mamut.ServeClassDistributions
+	}{{"HR", r.HRDist}, {"LR", r.LRDist}} {
+		fmt.Fprintf(w, "  %s dist: fps p50/p95/p99 %.1f/%.1f/%.1f, session-sec p50/p95/p99 %.1f/%.1f/%.1f (%d sessions)\n",
+			cls.name, cls.dist.FPS.P50, cls.dist.FPS.P95, cls.dist.FPS.P99,
+			cls.dist.DurationSec.P50, cls.dist.DurationSec.P95, cls.dist.DurationSec.P99,
+			cls.dist.FPS.Count)
+	}
+	fmt.Fprintf(w, "windowed (tau=%.0fs): SLO %.1f%%, rejection %.1f%%, utilization %.1f%%\n",
+		r.Windowed.TauSec, r.Windowed.SLOAttainedPct, r.Windowed.RejectionPct, r.Windowed.UtilizationPct)
 }
 
 func printCSV(w io.Writer, r *mamut.ServeResult) {

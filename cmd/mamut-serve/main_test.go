@@ -64,7 +64,7 @@ func TestFleetSmokeGolden(t *testing.T) {
 				cfg.Dispatch = variant.dispatch
 				cfg.Workers = variant.workers
 				var buf bytes.Buffer
-				if err := run(&buf, cfg, "summary", "", "", "", cfg.Workers); err != nil {
+				if err := run(&buf, cfg, runOpts{format: "summary", workers: cfg.Workers}); err != nil {
 					t.Fatalf("%s: %v", variant.name, err)
 				}
 				outputs[variant.name] = buf.Bytes()

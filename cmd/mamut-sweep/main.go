@@ -2,10 +2,16 @@
 // grid of QP, thread and frequency values (a generalisation of the
 // paper's Fig. 2 measurement), printing one CSV row per operating point.
 //
+// With -checkpoint FILE each completed operating point streams to FILE
+// and an interrupted sweep resumes from it, recomputing only the
+// missing points; the resumed CSV is byte-identical to an uninterrupted
+// run.
+//
 // Usage:
 //
 //	mamut-sweep -res HR -qp 22,27,32,37 -threads 1,2,4,8,12 -freq 1.6,2.3,3.2
 //	mamut-sweep -res LR -frames 240 > lr_sweep.csv
+//	mamut-sweep -res HR -frames 480 -checkpoint sweep.ckpt > hr_sweep.csv
 package main
 
 import (
@@ -34,6 +40,7 @@ func main() {
 		complexity = flag.Float64("complexity", 1.0, "base content complexity")
 		seed       = flag.Int64("seed", 1, "seed")
 		workers    = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU); row order and values are identical for any value")
+		checkpoint = flag.String("checkpoint", "", "stream completed points to this file and resume from it (rows then print once the sweep finishes)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -108,11 +115,33 @@ func main() {
 			},
 		}
 	}
+	fmt.Println("res,qp,threads,freq_ghz,fps,power_w,psnr_db,bitrate_mbps")
+	if *checkpoint != "" {
+		// With a checkpoint the file, not stdout, is the durable record:
+		// restored points skip their Run closures (so the rows side
+		// channel stays empty), and the full CSV prints from the combined
+		// results once the sweep completes.
+		ck, err := experiments.OpenFileCheckpoint[string](*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mamut-sweep: checkpoint: %d completed points on file\n", ck.Entries())
+		outs, _, err := experiments.RunUnitsCheckpointed(*workers, units, nil, ck)
+		if cerr := ck.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		for _, row := range outs {
+			fmt.Println(row)
+		}
+		return
+	}
 	// Stream the contiguous completed prefix after every finished unit, so
 	// rows appear incrementally, in grid order, and a late failure still
 	// leaves every row before it on stdout. The final unit's progress call
 	// sees every rowDone flag set, so the whole grid is always drained.
-	fmt.Println("res,qp,threads,freq_ghz,fps,power_w,psnr_db,bitrate_mbps")
 	printed := 0
 	flush := func(done, total int, label string) {
 		rowsMu.Lock()

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// This file adds durable progress to the experiment scheduler. A long
+// grid sweep is a sequence of independent units; checkpointing streams
+// each unit's result to a sink the moment it completes, so an
+// interrupted run resumes by replaying the sink instead of recomputing.
+// Because every unit is independently seeded and results are addressed
+// by unit index, a resumed run is bit-identical to an uninterrupted one:
+// restored units return the exact bytes they produced the first time,
+// and fresh units recompute from their own seeds.
+
+// Checkpointer persists unit results as they complete and answers
+// whether a unit already ran. Implementations must be safe for
+// concurrent use: the scheduler calls Store from worker goroutines.
+type Checkpointer[T any] interface {
+	// Lookup reports the stored result for unit i, if any. The label
+	// guards against resuming with a different grid: a stored entry
+	// whose label differs from the offered one is an error, not a miss.
+	Lookup(i int, label string) (T, bool, error)
+	// Store records unit i's result. It must be durable before it
+	// returns, so a crash after Store never loses the unit.
+	Store(i int, label string, v T) error
+}
+
+// RunUnitsCheckpointed is RunUnits with durable progress: units already
+// present in ck return their stored results without running, fresh units
+// run and are stored on completion. It returns the results in unit
+// order plus the number of units restored from the checkpoint. ck may
+// be nil, which degrades to plain RunUnits.
+func RunUnitsCheckpointed[T any](workers int, units []Unit[T], progress ProgressFunc, ck Checkpointer[T]) ([]T, int, error) {
+	if ck == nil {
+		out, err := RunUnits(workers, units, progress)
+		return out, 0, err
+	}
+	restored := 0
+	wrapped := make([]Unit[T], len(units))
+	for i, u := range units {
+		v, ok, err := ck.Lookup(i, u.Label)
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiments: checkpoint %s: %w", u.Label, err)
+		}
+		if ok {
+			restored++
+			cached := v
+			wrapped[i] = Unit[T]{Label: u.Label, Run: func() (T, error) { return cached, nil }}
+			continue
+		}
+		i, u := i, u
+		wrapped[i] = Unit[T]{Label: u.Label, Run: func() (T, error) {
+			v, err := u.Run()
+			if err != nil {
+				return v, err
+			}
+			if err := ck.Store(i, u.Label, v); err != nil {
+				return v, fmt.Errorf("checkpoint store: %w", err)
+			}
+			return v, nil
+		}}
+	}
+	out, err := RunUnits(workers, wrapped, progress)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, restored, nil
+}
+
+// checkpointEntry is one JSONL record in a FileCheckpoint.
+type checkpointEntry struct {
+	Unit  int             `json:"unit"`
+	Label string          `json:"label"`
+	Value json.RawMessage `json:"value"`
+}
+
+// FileCheckpoint is a Checkpointer backed by an append-only JSONL file:
+// one {"unit":i,"label":...,"value":...} record per completed unit.
+// Appending is atomic enough for the crash model that matters here — a
+// torn final line (the process died mid-write) is tolerated and
+// truncated away on open, while a corrupt record in the middle of the
+// file means the artifact itself is damaged and is an error.
+type FileCheckpoint[T any] struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[int]checkpointEntry
+}
+
+// OpenFileCheckpoint opens (or creates) the checkpoint file at path and
+// loads every complete record already present.
+func OpenFileCheckpoint[T any](path string) (*FileCheckpoint[T], error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open checkpoint: %w", err)
+	}
+	c := &FileCheckpoint[T]{f: f, entries: make(map[int]checkpointEntry)}
+	if err := c.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// load reads the existing records. A malformed or truncated final line
+// is discarded (the run died mid-append); malformed earlier lines are
+// corruption and error out.
+func (c *FileCheckpoint[T]) load() error {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("experiments: read checkpoint: %w", err)
+	}
+	r := bufio.NewReader(c.f)
+	var keep int64
+	for {
+		line, err := r.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return fmt.Errorf("experiments: read checkpoint: %w", err)
+		}
+		complete := len(line) > 0 && line[len(line)-1] == '\n'
+		if len(line) > 0 {
+			var e checkpointEntry
+			if jerr := json.Unmarshal(line, &e); jerr != nil {
+				if atEOF || !complete {
+					// Torn final line: drop it and append over it.
+					break
+				}
+				return fmt.Errorf("experiments: checkpoint corrupted at offset %d: %v", keep, jerr)
+			}
+			c.entries[e.Unit] = e
+			keep += int64(len(line))
+		}
+		if atEOF {
+			break
+		}
+	}
+	if err := c.f.Truncate(keep); err != nil {
+		return fmt.Errorf("experiments: truncate checkpoint: %w", err)
+	}
+	if _, err := c.f.Seek(keep, io.SeekStart); err != nil {
+		return fmt.Errorf("experiments: seek checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Lookup implements Checkpointer.
+func (c *FileCheckpoint[T]) Lookup(i int, label string) (T, bool, error) {
+	var zero T
+	c.mu.Lock()
+	e, ok := c.entries[i]
+	c.mu.Unlock()
+	if !ok {
+		return zero, false, nil
+	}
+	if e.Label != label {
+		return zero, false, fmt.Errorf("unit %d is %q on file, offered %q — wrong checkpoint for this grid", i, e.Label, label)
+	}
+	var v T
+	if err := json.Unmarshal(e.Value, &v); err != nil {
+		return zero, false, fmt.Errorf("unit %d value: %w", i, err)
+	}
+	return v, true, nil
+}
+
+// Store implements Checkpointer. The record is flushed to the OS before
+// Store returns, so a subsequent crash cannot lose it.
+func (c *FileCheckpoint[T]) Store(i int, label string, v T) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(checkpointEntry{Unit: i, Label: label, Value: raw})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.entries[i] = checkpointEntry{Unit: i, Label: label, Value: raw}
+	return nil
+}
+
+// Entries reports how many completed units are on file.
+func (c *FileCheckpoint[T]) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Close releases the underlying file.
+func (c *FileCheckpoint[T]) Close() error {
+	return c.f.Close()
+}

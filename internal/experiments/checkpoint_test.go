@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+type cell struct {
+	Label string  `json:"label"`
+	X     float64 `json:"x"`
+}
+
+func gridUnits(ran *atomic.Int32) []Unit[cell] {
+	units := make([]Unit[cell], 8)
+	for i := range units {
+		i := i
+		label := fmt.Sprintf("cell %d", i)
+		units[i] = Unit[cell]{Label: label, Run: func() (cell, error) {
+			if ran != nil {
+				ran.Add(1)
+			}
+			// Deterministic per-unit value, bit-exact on every rerun.
+			return cell{Label: label, X: float64(i) * 1.25}, nil
+		}}
+	}
+	return units
+}
+
+// TestCheckpointResumeBitIdentical: run part of a grid, reopen the
+// checkpoint, resume — the combined result must equal an uninterrupted
+// run exactly, and restored units must not re-execute.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	want, err := RunUnits(1, gridUnits(nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ck, err := OpenFileCheckpoint[cell](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run: only the first three units (simulating an interrupt by
+	// scheduling a truncated grid).
+	if _, restored, err := RunUnitsCheckpointed(2, gridUnits(nil)[:3], nil, ck); err != nil {
+		t.Fatal(err)
+	} else if restored != 0 {
+		t.Fatalf("fresh run restored %d units", restored)
+	}
+	ck.Close()
+
+	// Resume with the full grid from a reopened file.
+	ck2, err := OpenFileCheckpoint[cell](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if got := ck2.Entries(); got != 3 {
+		t.Fatalf("reopened checkpoint has %d entries, want 3", got)
+	}
+	var ran atomic.Int32
+	got, restored, err := RunUnitsCheckpointed(2, gridUnits(&ran), nil, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 3 {
+		t.Errorf("restored %d units, want 3", restored)
+	}
+	if n := ran.Load(); n != 5 {
+		t.Errorf("resume executed %d units, want 5", n)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed grid differs from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCheckpointTornFinalLine: a process killed mid-append leaves a
+// partial last line; open must tolerate it, keep the complete records
+// and let the torn unit rerun.
+func TestCheckpointTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ck, err := OpenFileCheckpoint[cell](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunUnitsCheckpointed(1, gridUnits(nil)[:3], nil, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record in half.
+	lines := strings.SplitAfter(strings.TrimSuffix(string(b), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenFileCheckpoint[cell](path)
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	defer ck2.Close()
+	if got := ck2.Entries(); got != 2 {
+		t.Fatalf("after torn line: %d entries, want 2", got)
+	}
+	// Resuming over the truncated file still converges to the full grid.
+	want, _ := RunUnits(1, gridUnits(nil), nil)
+	got, restored, err := RunUnitsCheckpointed(1, gridUnits(nil), nil, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Errorf("restored %d, want 2", restored)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-tear resume differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointMidFileCorruption: damage before the final line is not a
+// crash artifact but a broken file, and must be an error.
+func TestCheckpointMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ck, err := OpenFileCheckpoint[cell](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunUnitsCheckpointed(1, gridUnits(nil)[:3], nil, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(string(b), `"unit":1`, `"unit":!`, 1)
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileCheckpoint[cell](path); err == nil {
+		t.Error("mid-file corruption accepted")
+	} else if !strings.Contains(err.Error(), "corrupted") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckpointLabelMismatch: resuming a different grid against an old
+// checkpoint must fail loudly instead of serving wrong cells.
+func TestCheckpointLabelMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ck, err := OpenFileCheckpoint[cell](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if _, _, err := RunUnitsCheckpointed(1, gridUnits(nil)[:2], nil, ck); err != nil {
+		t.Fatal(err)
+	}
+	other := []Unit[cell]{{Label: "different grid", Run: func() (cell, error) { return cell{}, nil }}}
+	if _, _, err := RunUnitsCheckpointed(1, other, nil, ck); err == nil {
+		t.Error("label mismatch accepted")
+	} else if !strings.Contains(err.Error(), "wrong checkpoint") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckpointNilDegradesToRunUnits: a nil checkpointer is plain
+// RunUnits.
+func TestCheckpointNilDegradesToRunUnits(t *testing.T) {
+	want, err := RunUnits(2, gridUnits(nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, restored, err := RunUnitsCheckpointed[cell](2, gridUnits(nil), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 {
+		t.Errorf("nil checkpointer restored %d", restored)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("nil checkpointer changed results")
+	}
+}

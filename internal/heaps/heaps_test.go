@@ -1,0 +1,197 @@
+package heaps
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// item is a test element with the deterministic tie-break the package
+// doc demands: equal keys order by sequence number.
+type item struct {
+	key float64
+	seq int
+}
+
+func (a item) Less(b item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// refHeap adapts []item to container/heap as the trusted reference.
+type refHeap []item
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(v interface{}) { *h = append(*h, v.(item)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	v := old[n]
+	*h = old[:n]
+	return v
+}
+
+// TestHeapSortsLikeReference: a long randomized interleaving of pushes
+// and pops must agree element-for-element with container/heap over the
+// same operation sequence.
+func TestHeapSortsLikeReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Heap[item]
+	ref := &refHeap{}
+	seq := 0
+	for op := 0; op < 20000; op++ {
+		if h.Len() != ref.Len() {
+			t.Fatalf("op %d: len %d != reference %d", op, h.Len(), ref.Len())
+		}
+		if h.Len() > 0 && h.Peek() != (*ref)[0] {
+			t.Fatalf("op %d: peek %v != reference %v", op, h.Peek(), (*ref)[0])
+		}
+		if h.Len() == 0 || rng.Intn(3) != 0 {
+			// Duplicate keys are common in event heaps; force collisions.
+			v := item{key: float64(rng.Intn(50)), seq: seq}
+			seq++
+			h.Push(v)
+			heap.Push(ref, v)
+		} else {
+			got := h.Pop()
+			want := heap.Pop(ref).(item)
+			if got != want {
+				t.Fatalf("op %d: pop %v, reference popped %v", op, got, want)
+			}
+		}
+	}
+	// Drain: the remaining elements come out in exact sorted order.
+	var drained []item
+	for h.Len() > 0 {
+		drained = append(drained, h.Pop())
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i].Less(drained[j]) }) {
+		t.Error("drain order not sorted")
+	}
+	for i := 1; i < len(drained); i++ {
+		if !drained[i-1].Less(drained[i]) {
+			t.Fatalf("drain not strictly ordered at %d: %v then %v", i, drained[i-1], drained[i])
+		}
+	}
+}
+
+// TestHeapZeroValue: the zero heap is usable without construction.
+func TestHeapZeroValue(t *testing.T) {
+	var h Heap[item]
+	if h.Len() != 0 {
+		t.Fatal("zero heap not empty")
+	}
+	h.Push(item{key: 2})
+	h.Push(item{key: 1})
+	if got := h.Pop(); got.key != 1 {
+		t.Errorf("min = %v, want key 1", got)
+	}
+	if got := h.Pop(); got.key != 2 {
+		t.Errorf("second = %v, want key 2", got)
+	}
+	if h.Len() != 0 {
+		t.Error("heap not drained")
+	}
+}
+
+// lazyKey mirrors the dispatcher's lazy-invalidation pattern: heap
+// entries are (server, key) snapshots, and an entry is stale when the
+// server's current key moved on. Popping must always surface the live
+// minimum despite stale entries shadowing it.
+type lazyKey struct {
+	server int
+	key    float64
+}
+
+func (a lazyKey) Less(b lazyKey) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.server < b.server
+}
+
+// TestHeapLazyInvalidation drives the stale-entry discipline the serve
+// dispatcher uses: on every key change a fresh entry is pushed (the old
+// one stays), and readers skip entries whose snapshot disagrees with
+// the live key table. The surfaced minimum must match a linear scan.
+func TestHeapLazyInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const servers = 16
+	live := make([]float64, servers)
+	var h Heap[lazyKey]
+	for s := range live {
+		live[s] = rng.Float64() * 100
+		h.Push(lazyKey{server: s, key: live[s]})
+	}
+	popMin := func() int {
+		for h.Len() > 0 {
+			top := h.Peek()
+			if live[top.server] != top.key {
+				h.Pop() // stale snapshot
+				continue
+			}
+			return top.server
+		}
+		t.Fatal("heap exhausted with live entries outstanding")
+		return -1
+	}
+	for round := 0; round < 5000; round++ {
+		// Mutate a few keys, pushing fresh entries over the stale ones.
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			s := rng.Intn(servers)
+			live[s] = rng.Float64() * 100
+			h.Push(lazyKey{server: s, key: live[s]})
+		}
+		got := popMin()
+		want := 0
+		for s := 1; s < servers; s++ {
+			if (lazyKey{server: s, key: live[s]}).Less(lazyKey{server: want, key: live[want]}) {
+				want = s
+			}
+		}
+		if got != want {
+			t.Fatalf("round %d: lazy pop chose server %d (key %g), scan says %d (key %g)",
+				round, got, live[got], want, live[want])
+		}
+	}
+}
+
+// FuzzHeap cross-checks push/pop against container/heap over arbitrary
+// operation tapes.
+func FuzzHeap(f *testing.F) {
+	f.Add([]byte{1, 5, 3, 0, 2, 0, 9})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var h Heap[item]
+		ref := &refHeap{}
+		for i, b := range tape {
+			if b%4 == 0 && h.Len() > 0 {
+				got := h.Pop()
+				want := heap.Pop(ref).(item)
+				if got != want {
+					t.Fatalf("pop %v != reference %v", got, want)
+				}
+				continue
+			}
+			v := item{key: float64(b / 4), seq: i}
+			h.Push(v)
+			heap.Push(ref, v)
+		}
+		for h.Len() > 0 {
+			got := h.Pop()
+			want := heap.Pop(ref).(item)
+			if got != want {
+				t.Fatalf("drain %v != reference %v", got, want)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatal("reference not drained")
+		}
+	})
+}

@@ -3,6 +3,14 @@
 // (Nth), average throughput (FPS), the QoS-violation percentage (Delta),
 // PSNR and bitrate. It supports windowing (to exclude the learning phase)
 // and averaging across repetitions.
+//
+// Alongside the offline (retained-trace) aggregations, streaming.go
+// provides their online counterparts for long-horizon serving runs:
+// PowerIntegrator (time-weighted power, bit-identical to
+// TimeWeightedPower over the same sample sequence), Histogram (a
+// deterministic fixed-bin quantile sketch for p50/p95/p99) and
+// DecayedMean (exponentially time-decayed averages). Each folds one
+// sample at a time in O(1) memory.
 package metrics
 
 import (

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mamut/internal/transcode"
+)
+
+// TestPowerIntegratorMatchesOffline: the streaming integrator must
+// reproduce TimeWeightedPower bit for bit when fed the merged readings
+// in time order — the property the serve layer relies on to drop trace
+// retention without moving a single golden byte.
+func TestPowerIntegratorMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		from := rng.Float64() * 50
+		to := from + 1 + rng.Float64()*100
+		// Build multi-session traces the way an engine emits them: a
+		// shared clock advancing in batches, every observation in one
+		// batch sharing the batch's time and meter reading.
+		nSessions := 1 + rng.Intn(4)
+		traces := make([][]transcode.Observation, nSessions)
+		type sample struct{ t, w float64 }
+		var emitted []sample
+		clock := rng.Float64() * 20
+		for ev := 0; ev < rng.Intn(60); ev++ {
+			clock += rng.Float64() * 5
+			w := 50 + rng.Float64()*150
+			batch := 1 + rng.Intn(3)
+			for b := 0; b < batch; b++ {
+				s := rng.Intn(nSessions)
+				traces[s] = append(traces[s], transcode.Observation{Time: clock, PowerW: w})
+				emitted = append(emitted, sample{clock, w})
+			}
+		}
+		want, wantErr := TimeWeightedPower(traces, from, to)
+
+		p := NewPowerIntegrator(from, to)
+		for _, s := range emitted {
+			p.Add(s.t, s.w)
+		}
+		got, gotErr := p.Average()
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: offline %v, streaming %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("trial %d: error text mismatch: offline %q, streaming %q", trial, wantErr, gotErr)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: streaming %v != offline %v (diff %g)", trial, got, want, got-want)
+		}
+	}
+}
+
+// TestPowerIntegratorErrors pins the offline error contract: empty
+// window, no samples (ErrNoSamples, the idle fallback), and error texts
+// matching TimeWeightedPower's.
+func TestPowerIntegratorErrors(t *testing.T) {
+	// Empty window.
+	p := NewPowerIntegrator(10, 10)
+	p.Add(5, 100)
+	if _, err := p.Average(); err == nil {
+		t.Error("empty window accepted")
+	} else if errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty window misreported as ErrNoSamples: %v", err)
+	}
+
+	// No samples: ErrNoSamples so callers can fall back to idle power.
+	p = NewPowerIntegrator(0, 10)
+	if _, err := p.Average(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("no samples: got %v, want ErrNoSamples", err)
+	}
+
+	// Error texts match the offline integration exactly.
+	if _, offline := TimeWeightedPower(nil, 3, 7); offline != nil {
+		if _, streaming := NewPowerIntegrator(3, 7).Average(); streaming == nil ||
+			streaming.Error() != offline.Error() {
+			t.Errorf("no-samples text: offline %q, streaming %v", offline, streaming)
+		}
+	}
+	if _, offline := TimeWeightedPower(nil, 7, 3); offline != nil {
+		if _, streaming := NewPowerIntegrator(7, 3).Average(); streaming == nil ||
+			streaming.Error() != offline.Error() {
+			t.Errorf("empty-interval text: offline %q, streaming %v", offline, streaming)
+		}
+	}
+}
+
+// TestPowerIntegratorIdempotentAverage: Average must not consume state —
+// reading mid-stream and at the end gives the same final answer.
+func TestPowerIntegratorIdempotentAverage(t *testing.T) {
+	p := NewPowerIntegrator(0, 100)
+	p.Add(10, 100)
+	if _, err := p.Average(); err != nil {
+		t.Fatal(err)
+	}
+	p.Add(50, 200)
+	a1, err := p.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("repeated Average: %v then %v", a1, a2)
+	}
+	want, err := TimeWeightedPower([][]transcode.Observation{
+		{{Time: 10, PowerW: 100}, {Time: 50, PowerW: 200}},
+	}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != want {
+		t.Errorf("Average %v != offline %v", a2, want)
+	}
+}
+
+// TestHistogramQuantiles: exact known distributions, tail clamping and
+// order independence.
+func TestHistogramQuantiles(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	// Uniform 0.5, 1.5, ..., 99.5: one value per bin.
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 1}, {0.95, 95, 1}, {0.99, 99, 1}, {0, 0, 1}, {1, 100, 0},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q=%g: got %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+
+	// Tails clamp to the range bounds.
+	h2, _ := NewHistogram(0, 10, 10)
+	h2.Add(-5)
+	h2.Add(50)
+	if got := h2.Quantile(0.25); got != 0 {
+		t.Errorf("underflow quantile = %g, want 0", got)
+	}
+	if got := h2.Quantile(1); got != 10 {
+		t.Errorf("overflow quantile = %g, want 10", got)
+	}
+
+	// Order independence: shuffled insertion gives identical quantiles.
+	rng := rand.New(rand.NewSource(7))
+	vals := rng.Perm(1000)
+	ha, _ := NewHistogram(0, 1000, 64)
+	hb, _ := NewHistogram(0, 1000, 64)
+	for _, v := range vals {
+		ha.Add(float64(v))
+	}
+	sort.Ints(vals)
+	for _, v := range vals {
+		hb.Add(float64(v))
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		if ha.Quantile(q) != hb.Quantile(q) {
+			t.Errorf("q=%g: insertion order changed the estimate", q)
+		}
+	}
+}
+
+// TestHistogramMerge: merging equals feeding the union; mismatched
+// shapes are rejected.
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 20)
+	b, _ := NewHistogram(0, 10, 20)
+	u, _ := NewHistogram(0, 10, 20)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 12 // includes overflow
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		u.Add(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != u.N() {
+		t.Fatalf("merged N=%d, union N=%d", a.N(), u.N())
+	}
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		if a.Quantile(q) != u.Quantile(q) {
+			t.Errorf("q=%g: merged %g != union %g", q, a.Quantile(q), u.Quantile(q))
+		}
+	}
+	c, _ := NewHistogram(0, 10, 10)
+	if err := a.Merge(c); err == nil {
+		t.Error("mismatched bin count merged silently")
+	}
+}
+
+// TestDecayedMean: recent samples dominate; without time gaps it is the
+// plain mean; invalid tau is rejected.
+func TestDecayedMean(t *testing.T) {
+	if _, err := NewDecayedMean(0); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	m, err := NewDecayedMean(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value(); got != 0 {
+		t.Errorf("empty decayed mean = %g, want 0", got)
+	}
+	// Same-instant samples: exact arithmetic mean.
+	m.Add(0, 10)
+	m.Add(0, 20)
+	if got := m.Value(); got != 15 {
+		t.Errorf("undecayed mean = %g, want 15", got)
+	}
+	// A much later sample dominates: the old mass decayed by e^-10.
+	m.Add(100, 90)
+	if got := m.Value(); math.Abs(got-90) > 1e-2 {
+		t.Errorf("decayed mean = %g, want ~90", got)
+	}
+	if m.Tau() != 10 {
+		t.Errorf("Tau = %g, want 10", m.Tau())
+	}
+}

@@ -6,10 +6,18 @@ import (
 	"io"
 )
 
+// learnerFormatVersion is the current on-disk learner format. Loaders
+// accept this version and older — version 0 is the legacy unversioned
+// format, identical to version 1 apart from the missing field — while
+// payloads from a newer writer error cleanly instead of being
+// misinterpreted.
+const learnerFormatVersion = 1
+
 // learnerState is the serialised form of a Learner. Transition counts are
 // stored sparsely: only observed (s,a,s') triples.
 type learnerState struct {
-	Config Config `json:"config"`
+	Version int    `json:"format_version"`
+	Config  Config `json:"config"`
 	// Q is the dense Q-table, row-major [state][action].
 	Q []float64 `json:"q"`
 	// VisitsSA is the dense Num(s,a) table; VisitsAction the per-action
@@ -26,6 +34,7 @@ type learnerState struct {
 // persist across repetitions of the transcoding process (SV-A).
 func (l *Learner) Save(w io.Writer) error {
 	st := learnerState{
+		Version:      learnerFormatVersion,
 		Config:       l.cfg,
 		Q:            append([]float64(nil), l.Q.q...),
 		VisitsSA:     append([]int(nil), l.Visits.sa...),
@@ -52,6 +61,10 @@ func LoadLearner(r io.Reader) (*Learner, error) {
 	var st learnerState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("rl: load learner: %w", err)
+	}
+	if st.Version < 0 || st.Version > learnerFormatVersion {
+		return nil, fmt.Errorf("rl: load learner: format version %d not supported (current %d)",
+			st.Version, learnerFormatVersion)
 	}
 	l, err := NewLearner(st.Config)
 	if err != nil {

@@ -80,3 +80,46 @@ func TestLoadLearnerRejectsGarbage(t *testing.T) {
 		t.Error("out-of-range transition accepted")
 	}
 }
+
+// TestLoadLearnerFormatVersions: legacy unversioned payloads still load
+// (version 0), the current version round-trips, and payloads from a
+// future writer are refused instead of being misread.
+func TestLoadLearnerFormatVersions(t *testing.T) {
+	l := trainedLearner(t, 2)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+	if !strings.Contains(saved, `"format_version":1`) {
+		t.Fatalf("saved payload carries no current version stamp: %s", saved[:60])
+	}
+
+	// Legacy payload: strip the version field entirely, as written by
+	// pre-versioning builds. It must load identically.
+	legacy := strings.Replace(saved, `"format_version":1,`, "", 1)
+	if legacy == saved {
+		t.Fatal("version field not removed")
+	}
+	got, err := LoadLearner(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy unversioned payload rejected: %v", err)
+	}
+	if got.Config() != l.Config() || got.Q.Get(3, 2) != l.Q.Get(3, 2) {
+		t.Error("legacy payload restored a different learner")
+	}
+
+	// A future writer's payload must error cleanly.
+	future := strings.Replace(saved, `"format_version":1`, `"format_version":2`, 1)
+	if _, err := LoadLearner(strings.NewReader(future)); err == nil {
+		t.Error("future format version accepted")
+	} else if !strings.Contains(err.Error(), "format version 2 not supported") {
+		t.Errorf("unexpected version error: %v", err)
+	}
+
+	// Negative versions are nonsense, not legacy.
+	if _, err := LoadLearner(strings.NewReader(
+		strings.Replace(saved, `"format_version":1`, `"format_version":-1`, 1))); err == nil {
+		t.Error("negative format version accepted")
+	}
+}

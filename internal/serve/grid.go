@@ -24,6 +24,10 @@ type GridSpec struct {
 	Workers int
 	// Progress observes completed cells.
 	Progress experiments.ProgressFunc
+	// Checkpoint, when non-nil, streams each cell's result as it
+	// completes and lets an interrupted grid resume: cells already on
+	// file are restored bit-identically instead of recomputed.
+	Checkpoint experiments.Checkpointer[*Result]
 }
 
 // GridCell couples one grid coordinate with its service result.
@@ -89,7 +93,7 @@ func RunGrid(spec GridSpec) ([]GridCell, error) {
 			}
 		}
 	}
-	outs, err := experiments.RunUnits(spec.Workers, units, spec.Progress)
+	outs, _, err := experiments.RunUnitsCheckpointed(spec.Workers, units, spec.Progress, spec.Checkpoint)
 	if err != nil {
 		return nil, err
 	}

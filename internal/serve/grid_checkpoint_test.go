@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mamut/internal/experiments"
+)
+
+func checkpointGridSpec() GridSpec {
+	return GridSpec{
+		Base: Config{
+			Servers:              2,
+			MaxSessionsPerServer: 4,
+			Workload: Workload{
+				DurationSec:    90,
+				MeanSessionSec: 15,
+			},
+			WarmupSec: 20,
+		},
+		Policies:     []string{"round-robin", "power"},
+		ArrivalRates: []float64{0.3},
+		Seeds:        []int64{5, 6},
+		Workers:      2,
+	}
+}
+
+// TestGridCheckpointResumeBitIdentical: interrupt a grid after a prefix
+// of cells, resume against the same checkpoint file, and require the
+// combined result to equal an uninterrupted grid exactly — the resume
+// acceptance criterion. A knowledge-reuse cell rides along so the
+// store's JSON round-trip through the checkpoint is pinned too.
+func TestGridCheckpointResumeBitIdentical(t *testing.T) {
+	want, err := RunGrid(checkpointGridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ck, err := experiments.OpenFileCheckpoint[*Result](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Interrupt": run only the first policy's cells (a prefix of the
+	// full grid's unit order), then drop the handle.
+	partial := checkpointGridSpec()
+	partial.Policies = partial.Policies[:1]
+	partial.Checkpoint = ck
+	if _, err := RunGrid(partial); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	ck2, err := experiments.OpenFileCheckpoint[*Result](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if got := ck2.Entries(); got != 2 {
+		t.Fatalf("checkpoint holds %d cells, want 2", got)
+	}
+	full := checkpointGridSpec()
+	full.Checkpoint = ck2
+	got, err := RunGrid(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed grid differs from uninterrupted grid")
+	}
+}
+
+// TestGridCheckpointKnowledgeRoundTrip: a knowledge-reuse cell's result
+// — including the exported store — survives the checkpoint's JSON
+// round-trip exactly.
+func TestGridCheckpointKnowledgeRoundTrip(t *testing.T) {
+	spec := GridSpec{
+		Base: func() Config {
+			c := shortSessionConfig()
+			c.Workload.DurationSec = 120
+			c.KnowledgeReuse = true
+			return c
+		}(),
+		Workers: 1,
+	}
+	want, err := RunGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0].Result.Knowledge == nil {
+		t.Fatal("knowledge cell carries no store")
+	}
+
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	ck, err := experiments.OpenFileCheckpoint[*Result](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Checkpoint = ck
+	if _, err := RunGrid(spec); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Everything now comes from the file, nothing recomputes.
+	ck2, err := experiments.OpenFileCheckpoint[*Result](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	spec.Checkpoint = ck2
+	spec.Base.PolicyFactory = nil // ensure no accidental recompute path
+	got, err := RunGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("checkpointed knowledge cell differs after JSON round-trip")
+	}
+}

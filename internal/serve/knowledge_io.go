@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mamut/internal/core"
+	"mamut/internal/rl"
+	"mamut/internal/video"
+)
+
+// This file makes the KnowledgeStore durable: a versioned, hash-stamped
+// JSON artifact that outlives a single run, so a fleet can warm-start
+// from knowledge gathered by earlier runs (the KaaS regime's knowledge
+// base as a persistent service, not a per-process cache). The payload is
+// canonical — encoding/json sorts map keys — so equal stores produce
+// equal bytes, and the embedded SHA-256 digest lets an importer reject a
+// corrupted or tampered artifact before seeding a fleet from it.
+
+// Knowledge artifact framing.
+const (
+	knowledgeFormat = "mamut-knowledge"
+	// KnowledgeFormatVersion is the current artifact version. Importers
+	// accept this version and older; newer versions error cleanly.
+	KnowledgeFormatVersion = 1
+)
+
+// knowledgeFile is the on-disk envelope around the store payload.
+type knowledgeFile struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// SHA256 is the hex digest of the exact payload bytes.
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// knowledgeClass is the serialised per-resolution-class entry.
+type knowledgeClass struct {
+	Contributions int            `json:"contributions"`
+	Agents        [3]rl.Snapshot `json:"agents"`
+}
+
+// MarshalJSON serialises the store as a map keyed by resolution-class
+// name. Equal stores marshal to equal bytes (map keys sort), which is
+// what makes the export digest — and checkpointed results that embed a
+// store — reproducible.
+func (ks *KnowledgeStore) MarshalJSON() ([]byte, error) {
+	classes := make(map[string]knowledgeClass, len(ks.byRes))
+	for res, snap := range ks.byRes {
+		classes[res.String()] = knowledgeClass{
+			Contributions: ks.contributions[res],
+			Agents:        snap.Agents,
+		}
+	}
+	return json.Marshal(classes)
+}
+
+// UnmarshalJSON restores a store serialised by MarshalJSON, validating
+// every snapshot.
+func (ks *KnowledgeStore) UnmarshalJSON(b []byte) error {
+	var classes map[string]knowledgeClass
+	if err := json.Unmarshal(b, &classes); err != nil {
+		return fmt.Errorf("serve: knowledge payload: %w", err)
+	}
+	ks.byRes = make(map[video.Resolution]*core.Snapshot, len(classes))
+	ks.contributions = make(map[video.Resolution]int, len(classes))
+	for name, kc := range classes {
+		var res video.Resolution
+		switch name {
+		case video.HR.String():
+			res = video.HR
+		case video.LR.String():
+			res = video.LR
+		default:
+			return fmt.Errorf("serve: knowledge payload: unknown resolution class %q", name)
+		}
+		if kc.Contributions < 1 {
+			return fmt.Errorf("serve: knowledge payload: class %s has %d contributions", name, kc.Contributions)
+		}
+		snap := core.Snapshot{Agents: kc.Agents}
+		if err := snap.Validate(); err != nil {
+			return fmt.Errorf("serve: knowledge payload: class %s: %w", name, err)
+		}
+		ks.byRes[res] = &snap
+		ks.contributions[res] = kc.Contributions
+	}
+	return nil
+}
+
+// clone deep-copies the store, so a run can accumulate onto imported
+// knowledge without mutating the caller's copy.
+func (ks *KnowledgeStore) clone() *KnowledgeStore {
+	cp := NewKnowledgeStore()
+	for res, snap := range ks.byRes {
+		s := snap.Clone()
+		cp.byRes[res] = &s
+		cp.contributions[res] = ks.contributions[res]
+	}
+	return cp
+}
+
+// Export writes the store as a versioned, hash-stamped JSON artifact. A
+// later run imports it with ImportKnowledge and passes it as
+// Config.Knowledge, warm-starting the whole fleet from it.
+func (ks *KnowledgeStore) Export(w io.Writer) error {
+	payload, err := json.Marshal(ks)
+	if err != nil {
+		return fmt.Errorf("serve: export knowledge: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	f := knowledgeFile{
+		Format:  knowledgeFormat,
+		Version: KnowledgeFormatVersion,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&f); err != nil {
+		return fmt.Errorf("serve: export knowledge: %w", err)
+	}
+	return nil
+}
+
+// ImportKnowledge reads an artifact written by Export, verifying the
+// format, the version and the payload digest before validating and
+// restoring the store. A digest mismatch means the artifact was
+// corrupted or tampered with in storage — seeding a fleet from it would
+// silently poison every warm start, so it is rejected outright.
+func ImportKnowledge(r io.Reader) (*KnowledgeStore, error) {
+	var f knowledgeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("serve: import knowledge: %w", err)
+	}
+	if f.Format != knowledgeFormat {
+		return nil, fmt.Errorf("serve: import knowledge: format %q is not %q", f.Format, knowledgeFormat)
+	}
+	if f.Version < 1 || f.Version > KnowledgeFormatVersion {
+		return nil, fmt.Errorf("serve: import knowledge: artifact version %d not supported (current %d)",
+			f.Version, KnowledgeFormatVersion)
+	}
+	sum := sha256.Sum256(f.Payload)
+	if got := hex.EncodeToString(sum[:]); got != f.SHA256 {
+		return nil, fmt.Errorf("serve: import knowledge: payload checksum mismatch (artifact corrupted or tampered with): have %s, recorded %s",
+			got, f.SHA256)
+	}
+	ks := NewKnowledgeStore()
+	if err := json.Unmarshal(f.Payload, ks); err != nil {
+		return nil, err
+	}
+	return ks, nil
+}

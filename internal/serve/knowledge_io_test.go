@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// trainedStore runs a short knowledge-reuse fleet and returns its store.
+func trainedStore(t *testing.T) *KnowledgeStore {
+	t.Helper()
+	cfg := shortSessionConfig()
+	cfg.Workload.DurationSec = 120
+	cfg.KnowledgeReuse = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Knowledge == nil || res.KnowledgeContributions == 0 {
+		t.Fatal("training run produced no knowledge")
+	}
+	return res.Knowledge
+}
+
+// TestKnowledgeExportImportRoundTrip: Export then Import restores an
+// exactly equal store, and equal stores export equal bytes (the digest
+// is reproducible).
+func TestKnowledgeExportImportRoundTrip(t *testing.T) {
+	ks := trainedStore(t)
+	var buf bytes.Buffer
+	if err := ks.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportKnowledge(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ks) {
+		t.Error("imported store differs from exported store")
+	}
+	// Re-exporting the imported store reproduces the artifact bytes.
+	var buf2 bytes.Buffer
+	if err := got.Export(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("round-tripped export is not byte-identical")
+	}
+}
+
+// TestKnowledgeImportRejectsDamage: a flipped payload byte, a future
+// version and a foreign format must all be rejected before any store
+// state is built.
+func TestKnowledgeImportRejectsDamage(t *testing.T) {
+	ks := trainedStore(t)
+	var buf bytes.Buffer
+	if err := ks.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	artifact := buf.String()
+
+	// Corrupt one digit inside the payload (keep JSON well-formed so
+	// only the checksum can catch it).
+	corrupt := strings.Replace(artifact, `"contributions":`, `"contributions":1`, 1)
+	if corrupt == artifact {
+		t.Fatal("corruption did not apply")
+	}
+	if _, err := ImportKnowledge(strings.NewReader(corrupt)); err == nil {
+		t.Error("corrupted payload accepted")
+	} else if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("unexpected corruption error: %v", err)
+	}
+
+	future := strings.Replace(artifact, `"version":1`, `"version":2`, 1)
+	if future == artifact {
+		t.Fatal("version bump did not apply")
+	}
+	if _, err := ImportKnowledge(strings.NewReader(future)); err == nil {
+		t.Error("future version accepted")
+	} else if !strings.Contains(err.Error(), "version 2 not supported") {
+		t.Errorf("unexpected version error: %v", err)
+	}
+
+	foreign := strings.Replace(artifact, knowledgeFormat, "other-format", 1)
+	if _, err := ImportKnowledge(strings.NewReader(foreign)); err == nil {
+		t.Error("foreign format accepted")
+	}
+
+	if _, err := ImportKnowledge(strings.NewReader("not json")); err == nil {
+		t.Error("non-JSON artifact accepted")
+	}
+}
+
+// TestImportedKnowledgeWarmStartsFleet: a fleet seeded from an imported
+// store reports seeding activity immediately and is bit-identical to a
+// fleet seeded from the original in-memory store.
+func TestImportedKnowledgeWarmStartsFleet(t *testing.T) {
+	ks := trainedStore(t)
+	var buf bytes.Buffer
+	if err := ks.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := ImportKnowledge(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := shortSessionConfig()
+	next.Workload.DurationSec = 90
+	next.Seed = 11
+	next.KnowledgeReuse = true
+
+	fromMemory := next
+	fromMemory.Knowledge = ks
+	want, err := Run(fromMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile := next
+	fromFile.Knowledge = imported
+	got, err := Run(fromFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("fleet warm-started from artifact differs from in-memory warm start")
+	}
+	if got.KnowledgeSeeded == 0 {
+		t.Error("imported knowledge seeded no sessions")
+	}
+
+	// The caller's store must not absorb this run's contributions.
+	if !reflect.DeepEqual(imported, func() *KnowledgeStore {
+		k, err := ImportKnowledge(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}()) {
+		t.Error("Run mutated the imported store")
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"mamut/internal/experiments"
+)
+
+// longHorizonConfig is a small fleet under sustained churn, sized so an
+// 8-hour horizon stays fast enough for a unit test.
+func longHorizonConfig(horizonSec float64) Config {
+	return Config{
+		Servers:              4,
+		MaxSessionsPerServer: 4,
+		Approach:             experiments.Heuristic,
+		Workload: Workload{
+			ArrivalRate:    0.2,
+			DurationSec:    horizonSec,
+			MeanSessionSec: 10,
+		},
+		WarmupSec: 120,
+		Seed:      17,
+		Workers:   1,
+	}
+}
+
+func retainedHeap(tb testing.TB) uint64 {
+	tb.Helper()
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestLongHorizonConstantMemory: the default (streaming) path holds
+// O(active sessions) state, so the retained heap after an 8-hour
+// horizon must match the 1-hour horizon's instead of growing with the
+// arrival count. Before this refactor every session's full observation
+// trace and placement record were retained to the end of the run —
+// roughly 60 MB over 8 hours at this load — so the bound below fails
+// loudly against any regression to per-arrival retention.
+func TestLongHorizonConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour horizons are slow")
+	}
+	run := func(horizonSec float64) (*Result, uint64) {
+		res, err := Run(longHorizonConfig(horizonSec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, retainedHeap(t)
+	}
+	res1, heap1 := run(3600)
+	res8, heap8 := run(8 * 3600)
+	if res8.Admitted <= 4*res1.Admitted {
+		t.Fatalf("8h horizon admitted %d sessions vs %d at 1h — load did not scale", res8.Admitted, res1.Admitted)
+	}
+	if res1.Sessions != nil || res8.Sessions != nil {
+		t.Fatal("default path retained the per-arrival log")
+	}
+	// keep both results alive across the measurements
+	runtime.KeepAlive(res1)
+
+	const slackBytes = 8 << 20
+	if heap8 > heap1+slackBytes {
+		t.Errorf("retained heap grew with the horizon: %d bytes at 1h, %d at 8h (Δ %d)",
+			heap1, heap8, heap8-heap1)
+	}
+	runtime.KeepAlive(res8)
+}
+
+// TestRetainSessionsOptIn: the per-arrival log is off by default and
+// complete when requested, with every other field unchanged.
+func TestRetainSessionsOptIn(t *testing.T) {
+	cfg := longHorizonConfig(600)
+	def, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Sessions != nil {
+		t.Fatal("default run retained sessions")
+	}
+	cfg.RetainSessions = true
+	kept, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept.Sessions) != kept.Offered {
+		t.Fatalf("retained %d outcomes for %d offered arrivals", len(kept.Sessions), kept.Offered)
+	}
+	// Retention must not perturb the simulation or the aggregates.
+	kept.Sessions = nil
+	if def.SLOAttainedPct != kept.SLOAttainedPct || def.FleetAvgPowerW != kept.FleetAvgPowerW ||
+		def.Admitted != kept.Admitted || def.Rejected != kept.Rejected {
+		t.Error("RetainSessions changed aggregate results")
+	}
+}
+
+// BenchmarkLongHorizonMemory reports the allocation footprint of a full
+// service run per simulated hour of horizon. With streaming aggregation
+// allocs/op grows linearly with arrivals (each session is simulated)
+// while live heap stays flat; the interesting figure is B/op staying
+// proportional to work, not horizon-squared retention.
+func BenchmarkLongHorizonMemory(b *testing.B) {
+	for _, hours := range []float64{1, 8} {
+		name := "1h"
+		if hours == 8 {
+			name = "8h"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(longHorizonConfig(hours * 3600)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

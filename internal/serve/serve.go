@@ -57,6 +57,14 @@ type Config struct {
 	// event-interleaved departure instants, and drain-phase departures
 	// (after the last arrival) never affect an admission.
 	KnowledgeReuse bool
+	// Knowledge pre-seeds the run's knowledge store from a previously
+	// exported one (see KnowledgeStore.Export / ImportKnowledge), so a
+	// fleet warm-starts from knowledge gathered by earlier runs instead
+	// of from scratch. The store is copied — the run never mutates the
+	// caller's — and the run's own final store (imported + this run's
+	// contributions) is returned in Result.Knowledge. Requires
+	// KnowledgeReuse.
+	Knowledge *KnowledgeStore
 	// Workload is the offered load.
 	Workload Workload
 	// WarmupSec starts the measurement window: sessions arriving before
@@ -80,6 +88,13 @@ type Config struct {
 	// (default) or DispatchScan. The two produce bit-identical results;
 	// the scan path is the O(servers)-per-arrival reference.
 	Dispatch DispatchMode
+	// RetainSessions keeps the per-arrival SessionOutcome log in
+	// Result.Sessions. Off by default: every aggregate is folded
+	// streamingly at each session's departure event, so the default path
+	// allocates O(active sessions) — the property that makes month-long
+	// horizons feasible — and Result.Sessions is nil. Retention changes
+	// no other result field.
+	RetainSessions bool
 	// Progress observes completed per-server simulations.
 	Progress experiments.ProgressFunc
 }
@@ -162,6 +177,47 @@ type ClassStats struct {
 	AvgPSNRdB       float64
 }
 
+// QuantileSummary reports streaming quantile estimates over one metric
+// of the measured sessions, read from a fixed-bin histogram sketch
+// (deterministic and order-independent, so results stay bit-identical
+// across dispatchers and worker counts).
+type QuantileSummary struct {
+	// Count is the number of sessions folded into the sketch.
+	Count int
+	// P50, P95 and P99 are the estimated quantiles.
+	P50, P95, P99 float64
+}
+
+// ClassDistributions holds the per-class distribution sketches: means
+// hide tail behaviour, and the tail is where SLOs are lost.
+type ClassDistributions struct {
+	// FPS sketches each measured session's lifetime average FPS over
+	// [0, 2x target), so P50/P95/P99 locate the slow tail of the class.
+	FPS QuantileSummary
+	// DurationSec sketches each measured session's actual residency time
+	// (departure minus arrival, contention-stretched).
+	DurationSec QuantileSummary
+}
+
+// WindowedStats reports exponentially time-decayed views of the core
+// service metrics: each sample's weight decays as exp(-age/TauSec), so
+// the values describe how the service was doing toward the end of the
+// run rather than averaged over its whole history. Long horizons with
+// drifting load (diurnal curves, ramps) read very differently here than
+// in the lifetime averages.
+type WindowedStats struct {
+	// TauSec is the decay time constant (a quarter of the measurement
+	// window).
+	TauSec float64
+	// SLOAttainedPct decays over measured session departures.
+	SLOAttainedPct float64
+	// RejectionPct decays over all arrivals.
+	RejectionPct float64
+	// UtilizationPct decays over the fleet occupancy sampled at each
+	// arrival decision (resident sessions as a share of fleet capacity).
+	UtilizationPct float64
+}
+
 // Result is the steady-state outcome of a service run.
 type Result struct {
 	// Policy is the placement policy that ran.
@@ -197,9 +253,22 @@ type Result struct {
 	// prior contribution (warm starts).
 	KnowledgeContributions int
 	KnowledgeSeeded        int
+	// HRDist and LRDist sketch the distribution (not just the mean) of
+	// per-session FPS and residency time for each class's measured
+	// sessions.
+	HRDist, LRDist ClassDistributions
+	// Windowed reports time-decayed views of SLO attainment, rejection
+	// and utilization — the service "lately" rather than on average.
+	Windowed WindowedStats
+	// Knowledge is the run's final knowledge store (imported snapshot
+	// plus this run's contributions) when Config.KnowledgeReuse was on,
+	// nil otherwise. Export it for a later run's Config.Knowledge.
+	Knowledge *KnowledgeStore
 	// Servers holds one entry per server, in index order.
 	Servers []ServerResult
-	// Sessions holds one entry per arrival, in arrival order.
+	// Sessions holds one entry per arrival, in arrival order — only when
+	// Config.RetainSessions is set (nil otherwise; the default path does
+	// not retain per-session state).
 	Sessions []SessionOutcome
 }
 
@@ -277,13 +346,28 @@ func (c Config) Validate() error {
 	if c.KnowledgeReuse && c.Approach != experiments.MAMUT {
 		return fmt.Errorf("serve: knowledge reuse requires the %s approach, got %q", experiments.MAMUT, c.Approach)
 	}
+	if c.Knowledge != nil && !c.KnowledgeReuse {
+		return fmt.Errorf("serve: imported knowledge requires KnowledgeReuse")
+	}
 	return nil
 }
 
-// placement couples an arrival with the dispatcher's decision.
-type placement struct {
-	req    SessionRequest
-	server int // -1 = rejected
+// departRec is the dispatcher's record of one completed session — the
+// only per-session state that survives a departure. It is queued by the
+// engine's OnSessionEnd hook and folded into the streaming aggregates in
+// arrival-ID order (at the next arrival instant, or at finish for the
+// drain phase), so the fold sequence — and therefore every accumulated
+// float — depends only on the workload and seed, never on server
+// iteration order, dispatcher implementation or the worker pool.
+type departRec struct {
+	reqID                                     int
+	server                                    int
+	res                                       video.Resolution
+	arriveAt                                  float64
+	endAt                                     float64 // actual, contention-stretched departure time
+	measured                                  bool
+	frames                                    int
+	violationPct, avgFPS, avgPSNR, avgBitrate float64
 }
 
 // fleetServer is the dispatcher's live view of one server: its engine
@@ -295,6 +379,24 @@ type fleetServer struct {
 	eng    *transcode.Engine
 	hr, lr int
 
+	// resident maps engine session ids to the arrival bookkeeping the
+	// departure record needs; entries live exactly as long as the
+	// session does.
+	resident map[int]residentRec
+	// cur/peak maintain PeakActive online: departures at or before an
+	// arrival instant are processed before its admission, so the counter
+	// reproduces the close-before-open convention of the retired
+	// end-of-run interval event-sort.
+	cur, peak int
+	// power integrates this server's package-power readings over the
+	// measurement window as they are emitted (engine OnFrame hook) —
+	// streaming replacement for the end-of-run trace replay.
+	power *metrics.PowerIntegrator
+	// drained collects departure records from the post-arrival drain.
+	// The drain runs engines concurrently, so each engine appends only
+	// to its own server's slice; finish merges and sorts them.
+	drained []departRec
+
 	// Knowledge harvest (knowledge reuse only). harvest maps the engine
 	// session id of every resident MAMUT session to its contribution
 	// identity; the departure hook moves entries to the dispatcher's
@@ -305,6 +407,14 @@ type fleetServer struct {
 	// engines independent and the output identical for any worker count.
 	harvest  map[int]harvestEntry
 	draining bool
+}
+
+// residentRec is the arrival-side half of a future departRec.
+type residentRec struct {
+	reqID    int
+	res      video.Resolution
+	arriveAt float64
+	measured bool
 }
 
 // harvestEntry identifies one future knowledge contribution. seeded is
@@ -351,10 +461,23 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		TargetFPS:     cfg.Workload.TargetFPS,
 		FrameBudget:   req.Frames,
 		StartAtSec:    req.ArriveAtSec,
-		CollectTrace:  true,
+		// No trace retention: every aggregate folds streamingly at the
+		// departure event, and the engine discards departed sessions, so
+		// server memory is O(resident sessions) however long the run.
+		CollectTrace: false,
 	})
 	if err != nil {
 		return err
+	}
+	fs.resident[id] = residentRec{
+		reqID:    req.ID,
+		res:      req.Res,
+		arriveAt: req.ArriveAtSec,
+		measured: req.ArriveAtSec >= cfg.WarmupSec,
+	}
+	fs.cur++
+	if fs.cur > fs.peak {
+		fs.peak = fs.cur
 	}
 	if fs.harvest != nil {
 		if mc, ok := ctrl.(*core.Controller); ok {
@@ -401,7 +524,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	exOpts := experiments.Options{Spec: d.spec, Model: d.model}
 	if cfg.KnowledgeReuse {
-		d.store = NewKnowledgeStore()
+		if cfg.Knowledge != nil {
+			// Warm-start the whole run from imported knowledge. The copy
+			// keeps the run from mutating the caller's store; the run's
+			// final store is handed back via Result.Knowledge.
+			d.store = cfg.Knowledge.clone()
+		} else {
+			d.store = NewKnowledgeStore()
+		}
 		// The factory seeds from the exact snapshot the dispatcher
 		// records as the admission's subtraction baseline (set right
 		// before each addSession), so baseline == seed by construction —
@@ -471,7 +601,49 @@ type dispatcher struct {
 	pending     []harvestEntry
 	seeded      int
 
-	placements []placement
+	// Streaming aggregation state. Sessions fold in at their departure
+	// events (pendingStats, sorted by arrival ID per fold batch); the
+	// scalar counters update at placement time. Nothing here grows with
+	// the number of sessions served.
+	sloFPS       float64 // SLO threshold: SLOFPSFactor * target FPS
+	active       int     // fleet-wide resident sessions
+	offered      int
+	admitted     int
+	rejected     int
+	measOffered  int
+	measRejected int
+	measured     int
+	admitCount   []int     // per-server admissions
+	busy         []float64 // per-server in-window residency seconds
+	hrAgg, lrAgg classAgg
+	hrFPS, lrFPS *metrics.Histogram
+	hrDur, lrDur *metrics.Histogram
+	sloWin       *metrics.DecayedMean
+	rejWin       *metrics.DecayedMean
+	utilWin      *metrics.DecayedMean
+	pendingStats []departRec
+	outcomes     []SessionOutcome // only when cfg.RetainSessions
+}
+
+// classAgg streams the per-class session sums ClassStats is derived from.
+type classAgg struct {
+	n, met                   int
+	sumViol, sumFPS, sumPSNR float64
+}
+
+// stats derives the reported ClassStats with the same arithmetic the
+// retired end-of-run fold used.
+func (a classAgg) stats() ClassStats {
+	cs := ClassStats{Sessions: a.n}
+	if a.n == 0 {
+		return cs
+	}
+	n := float64(a.n)
+	cs.SLOAttainedPct = 100 * float64(a.met) / n
+	cs.AvgViolationPct = a.sumViol / n
+	cs.AvgFPS = a.sumFPS / n
+	cs.AvgPSNRdB = a.sumPSNR / n
+	return cs
 }
 
 // init builds the per-server structures and the policy index.
@@ -489,7 +661,7 @@ func (d *dispatcher) init(arrivals int) error {
 	d.estW = map[video.Resolution]float64{video.HR: hrW, video.LR: lrW}
 	d.servers = make([]*fleetServer, cfg.Servers)
 	for i := range d.servers {
-		d.servers[i] = &fleetServer{}
+		d.servers[i] = &fleetServer{resident: make(map[int]residentRec)}
 		if d.store != nil {
 			d.servers[i].harvest = make(map[int]harvestEntry)
 		}
@@ -505,7 +677,38 @@ func (d *dispatcher) init(arrivals int) error {
 			PowerBudgetW: d.budget,
 		}
 	}
-	d.placements = make([]placement, 0, arrivals)
+	d.sloFPS = cfg.SLOFPSFactor * cfg.Workload.TargetFPS
+	d.admitCount = make([]int, cfg.Servers)
+	d.busy = make([]float64, cfg.Servers)
+	// Distribution sketches: FPS over [0, 2x target) — sessions regulate
+	// around the target, so the range brackets it symmetrically — and
+	// residency over [0, 8x mean session length), which covers the p99 of
+	// the exponential session-length distribution with room for
+	// contention stretch; the tails clamp.
+	for _, h := range []**metrics.Histogram{&d.hrFPS, &d.lrFPS} {
+		var err error
+		if *h, err = metrics.NewHistogram(0, 2*cfg.Workload.TargetFPS, 256); err != nil {
+			return err
+		}
+	}
+	for _, h := range []**metrics.Histogram{&d.hrDur, &d.lrDur} {
+		var err error
+		if *h, err = metrics.NewHistogram(0, 8*cfg.Workload.MeanSessionSec, 512); err != nil {
+			return err
+		}
+	}
+	// Decayed windows: a quarter of the measurement window, so the
+	// values describe the last stretch of the run.
+	tau := (cfg.Workload.DurationSec - cfg.WarmupSec) / 4
+	for _, m := range []**metrics.DecayedMean{&d.sloWin, &d.rejWin, &d.utilWin} {
+		var err error
+		if *m, err = metrics.NewDecayedMean(tau); err != nil {
+			return err
+		}
+	}
+	if cfg.RetainSessions {
+		d.outcomes = make([]SessionOutcome, arrivals)
+	}
 	d.indexed = cfg.Dispatch != DispatchScan
 	if d.indexed {
 		d.nextEvt = make([]float64, cfg.Servers)
@@ -520,19 +723,22 @@ func (d *dispatcher) init(arrivals int) error {
 }
 
 // place steps the fleet to the arrival instant, folds any departures
-// into the knowledge store and dispatches the arrival.
+// into the knowledge store and the streaming aggregates, and dispatches
+// the arrival.
 func (d *dispatcher) place(req SessionRequest) error {
 	if err := d.sweepTo(req.ArriveAtSec); err != nil {
 		return err
 	}
-	// Fold the departures the fleet surfaced on the way to the arrival
-	// into the knowledge store, in arrival-ID order, before this
-	// arrival's placement and (possibly warm) controller construction.
+	// Fold the departures the fleet surfaced on the way to the arrival —
+	// in arrival-ID order — into the knowledge store and the streaming
+	// aggregates, before this arrival's placement and (possibly warm)
+	// controller construction.
 	if d.store != nil {
 		if err := d.foldDepartures(); err != nil {
 			return err
 		}
 	}
+	d.foldStats(req.ArriveAtSec)
 	var choice int
 	if d.idx != nil {
 		choice = d.idx.Place(req)
@@ -547,8 +753,20 @@ func (d *dispatcher) place(req SessionRequest) error {
 		return fmt.Errorf("serve: policy %q violated the placement contract: returned %d for arrival %d (valid: -1 to reject, 0..%d to place)",
 			d.pol.Name(), choice, req.ID, d.cfg.Servers-1)
 	}
+	d.offered++
+	measured := req.ArriveAtSec >= d.cfg.WarmupSec
+	if measured {
+		d.measOffered++
+	}
 	if choice == -1 || d.states[choice].Full() {
-		d.placements = append(d.placements, placement{req: req, server: -1})
+		d.rejected++
+		if measured {
+			d.measRejected++
+		}
+		if d.outcomes != nil {
+			d.outcomes[req.ID] = SessionOutcome{Req: req, Server: -1, Measured: measured}
+		}
+		d.sampleWindows(req.ArriveAtSec, true)
 		return nil
 	}
 	fs := d.servers[choice]
@@ -573,6 +791,16 @@ func (d *dispatcher) place(req SessionRequest) error {
 	if err := fs.addSession(req, d.cfg, d.catalog, d.factory, seedSnap); err != nil {
 		return err
 	}
+	d.admitted++
+	if measured {
+		d.measured++
+	}
+	d.admitCount[choice]++
+	d.active++
+	if d.outcomes != nil {
+		// The departure fold completes the entry (frames, averages, SLO).
+		d.outcomes[req.ID] = SessionOutcome{Req: req, Server: choice, Measured: measured}
+	}
 	if d.indexed {
 		d.refreshState(choice)
 		// The admission scheduled an arrival event at this very instant
@@ -580,8 +808,82 @@ func (d *dispatcher) place(req SessionRequest) error {
 		// engine through the session start.
 		d.scheduleServer(choice)
 	}
-	d.placements = append(d.placements, placement{req: req, server: choice})
+	d.sampleWindows(req.ArriveAtSec, false)
 	return nil
+}
+
+// sampleWindows feeds the decayed rejection and utilization views with
+// this arrival's decision and the fleet occupancy it left behind.
+func (d *dispatcher) sampleWindows(t float64, rejected bool) {
+	if rejected {
+		d.rejWin.Add(t, 100)
+	} else {
+		d.rejWin.Add(t, 0)
+	}
+	capacity := float64(d.cfg.Servers * d.cfg.MaxSessionsPerServer)
+	d.utilWin.Add(t, 100*float64(d.active)/capacity)
+}
+
+// foldStats folds every departure surfaced since the last fold into the
+// streaming aggregates, in arrival-ID order. t is the fold instant (the
+// arrival being placed, or the horizon for the drain batch), used as the
+// decay timestamp of the windowed views.
+func (d *dispatcher) foldStats(t float64) {
+	if len(d.pendingStats) == 0 {
+		return
+	}
+	sort.Slice(d.pendingStats, func(i, j int) bool { return d.pendingStats[i].reqID < d.pendingStats[j].reqID })
+	for _, r := range d.pendingStats {
+		d.foldDepart(r, t)
+	}
+	d.pendingStats = d.pendingStats[:0]
+}
+
+// foldDepart folds one completed session into the streaming aggregates:
+// busy time, per-class sums, distribution sketches, decayed windows and
+// (when retained) its outcome entry.
+func (d *dispatcher) foldDepart(r departRec, t float64) {
+	sloMet := r.avgFPS >= d.sloFPS
+	lo, hi := r.arriveAt, r.endAt
+	if lo < d.cfg.WarmupSec {
+		lo = d.cfg.WarmupSec
+	}
+	if hi > d.cfg.Workload.DurationSec {
+		hi = d.cfg.Workload.DurationSec
+	}
+	if hi > lo {
+		d.busy[r.server] += hi - lo
+	}
+	if d.outcomes != nil {
+		so := &d.outcomes[r.reqID]
+		so.Frames = r.frames
+		so.ViolationPct = r.violationPct
+		so.SLOMet = sloMet
+		so.AvgFPS = r.avgFPS
+		so.AvgPSNRdB = r.avgPSNR
+		so.AvgBitrateMbps = r.avgBitrate
+	}
+	if !r.measured {
+		return
+	}
+	agg, fpsH, durH := &d.hrAgg, d.hrFPS, d.hrDur
+	if r.res != video.HR {
+		agg, fpsH, durH = &d.lrAgg, d.lrFPS, d.lrDur
+	}
+	agg.n++
+	if sloMet {
+		agg.met++
+	}
+	agg.sumViol += r.violationPct
+	agg.sumFPS += r.avgFPS
+	agg.sumPSNR += r.avgPSNR
+	fpsH.Add(r.avgFPS)
+	durH.Add(r.endAt - r.arriveAt)
+	if sloMet {
+		d.sloWin.Add(t, 100)
+	} else {
+		d.sloWin.Add(t, 0)
+	}
 }
 
 // sweepTo advances the fleet to the arrival instant. The indexed path
@@ -671,8 +973,12 @@ func (d *dispatcher) refreshScanStates(req SessionRequest) {
 }
 
 // createEngine builds server i's engine on first admission and installs
-// the departure hook that releases slots, refreshes the incremental
-// state and queues knowledge harvests.
+// the streaming hooks: the departure hook releases slots, queues the
+// session's departure record and knowledge harvest, and refreshes the
+// incremental state; the frame hook feeds the server's window-power
+// integrator. The engine discards departed sessions — the departure
+// record carries everything the aggregates need — so server memory
+// stays O(resident sessions) over any horizon.
 func (d *dispatcher) createEngine(i int) error {
 	eng, err := transcode.NewEngine(d.spec, d.model, experiments.SubSeed(d.cfg.Seed, "serve|server", i))
 	if err != nil {
@@ -680,19 +986,51 @@ func (d *dispatcher) createEngine(i int) error {
 	}
 	fs := d.servers[i]
 	fs.eng = eng
+	fs.power = metrics.NewPowerIntegrator(d.cfg.WarmupSec, d.cfg.Workload.DurationSec)
+	eng.DiscardDeparted(true)
+	eng.OnFrame(func(obs transcode.Observation) {
+		// The engine emits observations in non-decreasing time order and
+		// equal-time completions share one meter reading, so streaming
+		// integration reproduces the retired sorted-trace replay bitwise.
+		fs.power.Add(obs.Time, obs.PowerW)
+	})
 	eng.OnSessionEnd(func(end transcode.SessionEnd) {
 		if end.Res == video.HR {
 			fs.hr--
 		} else {
 			fs.lr--
 		}
+		fs.cur--
+		rec, ok := fs.resident[end.SessionID]
+		if !ok {
+			// Defensive: every admitted session was registered.
+			return
+		}
+		delete(fs.resident, end.SessionID)
+		dr := departRec{
+			reqID:        rec.reqID,
+			server:       i,
+			res:          rec.res,
+			arriveAt:     rec.arriveAt,
+			endAt:        end.Time,
+			measured:     rec.measured,
+			frames:       end.Result.Frames,
+			violationPct: end.Result.ViolationPct,
+			avgFPS:       end.Result.AvgFPS,
+			avgPSNR:      end.Result.AvgPSNRdB,
+			avgBitrate:   end.Result.AvgBitrateMbps,
+		}
 		if fs.draining {
 			// No placement can observe drain departures, and the drain
 			// runs engines concurrently: shared dispatcher state (the
-			// state slice, the policy index, the harvest batch) must not
-			// be touched from here.
+			// state slice, the policy index, the pending batches) must
+			// not be touched from here — the record goes to the server's
+			// own drained slice and folds, sorted, at finish.
+			fs.drained = append(fs.drained, dr)
 			return
 		}
+		d.active--
+		d.pendingStats = append(d.pendingStats, dr)
 		if d.indexed {
 			d.refreshState(i)
 		}
@@ -736,54 +1074,118 @@ func (d *dispatcher) foldDepartures() error {
 	return nil
 }
 
-// finish drains the loaded engines across the worker pool and aggregates
-// the service result. No placement decisions remain, so the engines are
-// independent; the knowledge harvest closes here — drain departures can
-// no longer affect an admission, and not folding them keeps the engines
-// free of shared state.
+// finish drains the loaded engines across the worker pool, folds the
+// drain-phase departures and builds the service result from the
+// streaming aggregates. No placement decisions remain, so the engines
+// are independent; the knowledge harvest closes here — drain departures
+// can no longer affect an admission, and not folding them keeps the
+// engines free of shared state.
 func (d *dispatcher) finish() (*Result, error) {
 	cfg := d.cfg
 	for _, fs := range d.servers {
 		fs.draining = true
 	}
-	// perServer[i] lists server i's admissions in placement order, which
-	// is also its engine's AddSession order — aggregate relies on that
-	// alignment.
-	perServer := make([][]SessionRequest, cfg.Servers)
-	for _, p := range d.placements {
-		if p.server >= 0 {
-			perServer[p.server] = append(perServer[p.server], p.req)
-		}
-	}
 	var units []experiments.Unit[*transcode.Result]
-	unitServer := make([]int, 0, cfg.Servers)
 	for i, fs := range d.servers {
 		if fs.eng == nil {
 			continue
 		}
 		units = append(units, experiments.Unit[*transcode.Result]{
-			Label: fmt.Sprintf("server %d (%d sessions)", i, len(perServer[i])),
+			Label: fmt.Sprintf("server %d (%d sessions)", i, d.admitCount[i]),
 			Run:   fs.eng.Run,
 		})
-		unitServer = append(unitServer, i)
 	}
-	outs, err := experiments.RunUnits(cfg.Workers, units, cfg.Progress)
-	if err != nil {
+	// The engine results themselves carry nothing the aggregates need:
+	// every session folded (or will fold) through its departure record,
+	// and the power integrators streamed each reading at completion time.
+	if _, err := experiments.RunUnits(cfg.Workers, units, cfg.Progress); err != nil {
 		return nil, err
 	}
-	engRes := make([]*transcode.Result, cfg.Servers)
-	for u, srv := range unitServer {
-		engRes[srv] = outs[u]
+	// Merge the per-server drain batches and fold them in arrival-ID
+	// order at the horizon — the same deterministic fold discipline as
+	// the arrival phase, independent of the worker pool.
+	for _, fs := range d.servers {
+		d.pendingStats = append(d.pendingStats, fs.drained...)
+		fs.drained = nil
 	}
-	res, err := aggregate(cfg, d.spec, d.pol.Name(), d.placements, perServer, engRes)
-	if err != nil {
-		return nil, err
+	d.foldStats(cfg.Workload.DurationSec)
+	return d.buildResult()
+}
+
+// buildResult reads the streaming aggregates out into the Result.
+func (d *dispatcher) buildResult() (*Result, error) {
+	cfg := d.cfg
+	horizon := cfg.Workload.DurationSec
+	res := &Result{
+		Policy:           d.pol.Name(),
+		DurationSec:      horizon,
+		WarmupSec:        cfg.WarmupSec,
+		Offered:          d.offered,
+		Admitted:         d.admitted,
+		Rejected:         d.rejected,
+		MeasuredOffered:  d.measOffered,
+		MeasuredRejected: d.measRejected,
+		Measured:         d.measured,
 	}
+	if res.Offered > 0 {
+		res.RejectionPct = 100 * float64(res.Rejected) / float64(res.Offered)
+	}
+	if res.MeasuredOffered > 0 {
+		res.MeasuredRejectionPct = 100 * float64(res.MeasuredRejected) / float64(res.MeasuredOffered)
+	}
+	res.HR = d.hrAgg.stats()
+	res.LR = d.lrAgg.stats()
+	if res.Measured > 0 {
+		res.SLOAttainedPct = 100 * float64(d.hrAgg.met+d.lrAgg.met) / float64(res.Measured)
+	}
+	res.HRDist = ClassDistributions{FPS: quantiles(d.hrFPS), DurationSec: quantiles(d.hrDur)}
+	res.LRDist = ClassDistributions{FPS: quantiles(d.lrFPS), DurationSec: quantiles(d.lrDur)}
+	res.Windowed = WindowedStats{
+		TauSec:         d.sloWin.Tau(),
+		SLOAttainedPct: d.sloWin.Value(),
+		RejectionPct:   d.rejWin.Value(),
+		UtilizationPct: d.utilWin.Value(),
+	}
+
+	winLen := horizon - cfg.WarmupSec
+	for i, fs := range d.servers {
+		sr := ServerResult{Index: i, Sessions: d.admitCount[i], PeakActive: fs.peak, AvgPowerW: d.spec.IdlePowerW}
+		if fs.eng != nil {
+			switch w, err := fs.power.Average(); {
+			case err == nil:
+				sr.AvgPowerW = w
+			case errors.Is(err, metrics.ErrNoSamples):
+				// No power reading inside the window (the server's
+				// sessions all ran outside it): the idle-power fallback
+				// is the truth, not an accident.
+			default:
+				// Anything else is a real accounting bug; reporting a
+				// loaded server at idle power would silently skew the
+				// fleet energy numbers.
+				return nil, fmt.Errorf("serve: server %d window power: %w", i, err)
+			}
+		}
+		if winLen > 0 {
+			sr.UtilizationPct = 100 * d.busy[i] / (winLen * float64(cfg.MaxSessionsPerServer))
+		}
+		res.FleetAvgPowerW += sr.AvgPowerW
+		res.Servers = append(res.Servers, sr)
+	}
+	res.FleetAvgPowerW /= float64(cfg.Servers)
 	if d.store != nil {
 		res.KnowledgeContributions = d.store.Contributions(video.HR) + d.store.Contributions(video.LR)
 		res.KnowledgeSeeded = d.seeded
+		res.Knowledge = d.store
+	}
+	if cfg.RetainSessions {
+		res.Sessions = d.outcomes
 	}
 	return res, nil
+}
+
+// quantiles reads a sketch's summary.
+func quantiles(h *metrics.Histogram) QuantileSummary {
+	return QuantileSummary{Count: h.N(), P50: h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99)}
 }
 
 // fleetEvent is one engine-heap entry: the next event time a server's
@@ -800,185 +1202,4 @@ func (e fleetEvent) Less(o fleetEvent) bool {
 		return e.key < o.key
 	}
 	return e.id < o.id
-}
-
-// aggregate folds the dispatch log and the per-server simulation results
-// into the service-level Result.
-func aggregate(cfg Config, spec platform.Spec, policyName string, placements []placement,
-	perServer [][]SessionRequest, engRes []*transcode.Result) (*Result, error) {
-	horizon := cfg.Workload.DurationSec
-	res := &Result{
-		Policy:      policyName,
-		DurationSec: horizon,
-		WarmupSec:   cfg.WarmupSec,
-		Offered:     len(placements),
-	}
-
-	// Per-session outcomes. Engine sessions were added in arrival order,
-	// so perServer[s][k] corresponds to engRes[s].Sessions[k].
-	nextOnServer := make([]int, cfg.Servers)
-	actual := make([][]interval, cfg.Servers)
-	var hrV, lrV []SessionOutcome
-	for _, p := range placements {
-		so := SessionOutcome{
-			Req:      p.req,
-			Server:   p.server,
-			Measured: p.req.ArriveAtSec >= cfg.WarmupSec,
-		}
-		if p.server < 0 {
-			res.Rejected++
-			if so.Measured {
-				res.MeasuredOffered++
-				res.MeasuredRejected++
-			}
-			res.Sessions = append(res.Sessions, so)
-			continue
-		}
-		res.Admitted++
-		sr := engRes[p.server].Sessions[nextOnServer[p.server]]
-		nextOnServer[p.server]++
-		so.Frames = sr.Frames
-		so.ViolationPct = sr.ViolationPct
-		so.SLOMet = sr.AvgFPS >= cfg.SLOFPSFactor*cfg.Workload.TargetFPS
-		so.AvgFPS = sr.AvgFPS
-		so.AvgPSNRdB = sr.AvgPSNRdB
-		so.AvgBitrateMbps = sr.AvgBitrateMbps
-		end := p.req.ArriveAtSec
-		if n := len(sr.Trace); n > 0 {
-			end = sr.Trace[n-1].Time
-		}
-		actual[p.server] = append(actual[p.server], interval{p.req.ArriveAtSec, end})
-		if so.Measured {
-			res.MeasuredOffered++
-			res.Measured++
-			if p.req.Res == video.HR {
-				hrV = append(hrV, so)
-			} else {
-				lrV = append(lrV, so)
-			}
-		}
-		res.Sessions = append(res.Sessions, so)
-	}
-	if res.Offered > 0 {
-		res.RejectionPct = 100 * float64(res.Rejected) / float64(res.Offered)
-	}
-	if res.MeasuredOffered > 0 {
-		res.MeasuredRejectionPct = 100 * float64(res.MeasuredRejected) / float64(res.MeasuredOffered)
-	}
-	res.HR = classStats(hrV)
-	res.LR = classStats(lrV)
-	if res.Measured > 0 {
-		met := 0
-		for _, so := range hrV {
-			if so.SLOMet {
-				met++
-			}
-		}
-		for _, so := range lrV {
-			if so.SLOMet {
-				met++
-			}
-		}
-		res.SLOAttainedPct = 100 * float64(met) / float64(res.Measured)
-	}
-
-	// Per-server window power, utilization and peak occupancy.
-	winLen := horizon - cfg.WarmupSec
-	for i := 0; i < cfg.Servers; i++ {
-		sr := ServerResult{Index: i, Sessions: len(perServer[i]), AvgPowerW: spec.IdlePowerW}
-		if engRes[i] != nil {
-			var traces [][]transcode.Observation
-			for _, s := range engRes[i].Sessions {
-				traces = append(traces, s.Trace)
-			}
-			switch w, err := metrics.TimeWeightedPower(traces, cfg.WarmupSec, horizon); {
-			case err == nil:
-				sr.AvgPowerW = w
-			case errors.Is(err, metrics.ErrNoSamples):
-				// No power reading inside the window (the server's
-				// sessions all ran outside it): the idle-power fallback
-				// is the truth, not an accident.
-			default:
-				// Anything else is a real accounting bug; reporting a
-				// loaded server at idle power would silently skew the
-				// fleet energy numbers.
-				return nil, fmt.Errorf("serve: server %d window power: %w", i, err)
-			}
-		}
-		busy := 0.0
-		for _, iv := range actual[i] {
-			lo, hi := iv.start, iv.end
-			if lo < cfg.WarmupSec {
-				lo = cfg.WarmupSec
-			}
-			if hi > horizon {
-				hi = horizon
-			}
-			if hi > lo {
-				busy += hi - lo
-			}
-		}
-		if winLen > 0 {
-			sr.UtilizationPct = 100 * busy / (winLen * float64(cfg.MaxSessionsPerServer))
-		}
-		sr.PeakActive = peakActive(actual[i])
-		res.FleetAvgPowerW += sr.AvgPowerW
-		res.Servers = append(res.Servers, sr)
-	}
-	res.FleetAvgPowerW /= float64(cfg.Servers)
-	return res, nil
-}
-
-// classStats folds measured session outcomes of one class.
-func classStats(v []SessionOutcome) ClassStats {
-	cs := ClassStats{Sessions: len(v)}
-	if len(v) == 0 {
-		return cs
-	}
-	met := 0
-	for _, so := range v {
-		if so.SLOMet {
-			met++
-		}
-		cs.AvgViolationPct += so.ViolationPct
-		cs.AvgFPS += so.AvgFPS
-		cs.AvgPSNRdB += so.AvgPSNRdB
-	}
-	n := float64(len(v))
-	cs.SLOAttainedPct = 100 * float64(met) / n
-	cs.AvgViolationPct /= n
-	cs.AvgFPS /= n
-	cs.AvgPSNRdB /= n
-	return cs
-}
-
-// interval is one session's actual residency [start, end] on a server.
-type interval struct{ start, end float64 }
-
-// peakActive returns the maximum number of simultaneously open intervals.
-func peakActive(ivs []interval) int {
-	type event struct {
-		t     float64
-		delta int
-	}
-	events := make([]event, 0, 2*len(ivs))
-	for _, iv := range ivs {
-		events = append(events, event{iv.start, +1}, event{iv.end, -1})
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].t != events[j].t {
-			return events[i].t < events[j].t
-		}
-		// Close before open at equal times: back-to-back sessions do
-		// not overlap.
-		return events[i].delta < events[j].delta
-	})
-	cur, peak := 0, 0
-	for _, e := range events {
-		cur += e.delta
-		if cur > peak {
-			peak = cur
-		}
-	}
-	return peak
 }

@@ -58,6 +58,7 @@ func cfgWithWorkers(c Config, w int) Config {
 
 func TestRunAccounting(t *testing.T) {
 	cfg := quickConfig()
+	cfg.RetainSessions = true // the checks below read the per-arrival log
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -165,11 +166,12 @@ func TestPowerAwareBeatsRoundRobinOnSLO(t *testing.T) {
 		)
 	}
 	base := Config{
-		Servers:  2,
-		Approach: experiments.Heuristic,
-		Workload: Workload{Trace: trace},
-		Seed:     3,
-		Workers:  0,
+		Servers:        2,
+		Approach:       experiments.Heuristic,
+		Workload:       Workload{Trace: trace},
+		Seed:           3,
+		Workers:        0,
+		RetainSessions: true, // the HR-split sanity check reads the log
 	}
 	rr := base
 	rr.Policy = PolicyRoundRobin
@@ -230,8 +232,9 @@ func TestActualDeparturesChangePlacement(t *testing.T) {
 			{ArriveAtSec: 15, Sequence: "Cactus", Frames: 240},
 			{ArriveAtSec: 16, Sequence: "Cactus", Frames: 60},
 		}},
-		Seed:    21,
-		Workers: 1,
+		Seed:           21,
+		Workers:        1,
+		RetainSessions: true,
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -285,6 +288,8 @@ func TestConfigValidate(t *testing.T) {
 		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, Workers: -1},
 		// Knowledge reuse needs a learner that can export its tables.
 		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, Approach: experiments.Heuristic, KnowledgeReuse: true},
+		// Imported knowledge without reuse would silently never seed.
+		{Workload: Workload{ArrivalRate: 1, DurationSec: 10}, Knowledge: NewKnowledgeStore()},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

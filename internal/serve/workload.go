@@ -18,7 +18,19 @@
 // knowledge across sessions (KaaS-style warm starts): departing MAMUT
 // sessions fold their tables into a per-resolution-class KnowledgeStore
 // and new admissions are seeded from it, so short-lived sessions skip
-// past exploration (see knowledge.go).
+// past exploration (see knowledge.go). The store is durable: Export
+// writes it as a versioned, hash-stamped artifact and ImportKnowledge
+// restores it for Config.Knowledge, warm-starting a later fleet from an
+// earlier run's experience (see knowledge_io.go).
+//
+// Metrics stream. Every aggregate — per-server power, busy time, class
+// statistics, FPS/duration quantile sketches, time-decayed window
+// means — folds into constant-size accumulators (internal/metrics) at
+// each session's departure, in deterministic arrival-ID order, and the
+// engines discard departed sessions. The dispatcher therefore holds
+// O(active sessions) state however long the horizon runs; the
+// per-arrival outcome log is opt-in via Config.RetainSessions and
+// changes no other result field.
 //
 // Everything is deterministic for a fixed seed: the arrival process, the
 // placement decisions and every per-server simulation derive their

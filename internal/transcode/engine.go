@@ -141,6 +141,11 @@ type SessionEnd struct {
 	Time float64
 	// Frames is the number of frames the session transcoded.
 	Frames int
+	// Result is the session's complete summary at departure — identical
+	// to the entry buildResult would produce for it, so a streaming
+	// consumer can fold the session at this event and never look at the
+	// end-of-run result (see DiscardDeparted).
+	Result SessionResult
 }
 
 // Engine simulates a set of sessions sharing one server.
@@ -172,6 +177,8 @@ type Engine struct {
 	compl    eventHeap // pending completions keyed by virtual service time
 	arrivals eventHeap // pending arrivals keyed by real time
 	onEnd    func(SessionEnd)
+	onFrame  func(Observation)
+	discard  bool // drop departed sessions' state (see DiscardDeparted)
 
 	totalBudget int // sum of frame budgets, for the livelock guard
 	framesDone  int // frames completed so far (catch-up frames included)
@@ -223,6 +230,24 @@ func (e *Engine) ActiveSessions() int { return e.acct.Active() }
 // the event loop: it may call AddSession, but must not call Run,
 // RunUntilAll or AdvanceTo. A nil hook disables notification.
 func (e *Engine) OnSessionEnd(fn func(SessionEnd)) { e.onEnd = fn }
+
+// OnFrame installs a per-frame observer: it receives every Observation
+// the engine books, in event order, whether or not the session collects
+// a trace. It lets a streaming consumer (the serve layer's power
+// integrator) see each reading once at completion time instead of
+// replaying retained traces after the run. The hook runs inside the
+// event loop and must not call back into the engine. A nil hook
+// disables observation.
+func (e *Engine) OnFrame(fn func(Observation)) { e.onFrame = fn }
+
+// DiscardDeparted makes depart drop a session's state (accumulators,
+// trace, encoder) once its OnSessionEnd notification — which carries the
+// complete SessionResult — has fired. The engine then holds O(active
+// sessions) instead of O(total sessions ever admitted), which is what
+// makes arbitrarily long serving horizons run in constant memory.
+// Discarded sessions are skipped in the end-of-run Result.Sessions; ids
+// are never reused, so event ordering and determinism are unaffected.
+func (e *Engine) DiscardDeparted(on bool) { e.discard = on }
 
 // AddSession registers a session and returns the session id. Before the
 // first Run/AdvanceTo call this is the classic batch setup; called
@@ -526,6 +551,9 @@ func (e *Engine) settle(t, powerIdeal, speed float64) {
 // its frame budget.
 func (e *Engine) allReachedBudget() bool {
 	for _, s := range e.sessions {
+		if s == nil {
+			continue // discarded sessions reached their budget by definition
+		}
 		if s.frames < s.cfg.FrameBudget {
 			return false
 		}
@@ -670,10 +698,17 @@ func (e *Engine) completeFrame(s *session, powerRead float64) {
 	if s.cfg.CollectTrace {
 		s.trace = append(s.trace, obs)
 	}
+	if e.onFrame != nil {
+		e.onFrame(obs)
+	}
 	s.cfg.Controller.OnFrameDone(obs)
 }
 
 // depart releases a finished session's resources and notifies the hook.
+// In discard mode the session's state is dropped afterwards: the
+// SessionEnd carried its complete result, and its dynamic energy was
+// settled by the final completeFrame, so nothing buildResult would later
+// compute differs from what the hook already saw.
 func (e *Engine) depart(s *session) {
 	e.acct.Remove(s.load)
 	s.running = false
@@ -684,7 +719,11 @@ func (e *Engine) depart(s *session) {
 			Res:       s.cfg.Source.Res(),
 			Time:      e.now,
 			Frames:    s.frames,
+			Result:    s.result(e.vnow),
 		})
+	}
+	if e.discard {
+		e.sessions[s.id] = nil
 	}
 }
 
@@ -704,32 +743,42 @@ func (e *Engine) buildResult() *Result {
 		res.TempAvgC = e.thermal.AvgC()
 	}
 	for _, s := range e.sessions {
-		dynE := s.dynEnergyJ
-		if s.running {
-			// Sessions still encoding (RunUntilAll tails, AdvanceTo
-			// snapshots) settle their in-flight frame's energy to now.
-			dynE += s.dynCoef * (e.vnow - s.vMark)
+		if s == nil {
+			continue // departed and discarded (DiscardDeparted)
 		}
-		sr := SessionResult{
-			ID:         s.id,
-			Name:       s.cfg.Controller.Name(),
-			Res:        s.cfg.Source.Res(),
-			Frames:     s.frames,
-			Violations: s.violations,
-			DynEnergyJ: dynE,
-			Trace:      s.trace,
-		}
-		if s.frames > 0 {
-			f := float64(s.frames)
-			sr.ViolationPct = 100 * float64(s.violations) / f
-			sr.AvgFPS = s.sumFPS / f
-			sr.AvgPSNRdB = s.sumPSNR / f
-			sr.AvgBitrateMbps = s.sumBitrate / f
-			sr.AvgThreads = s.sumThreads / f
-			sr.AvgFreqGHz = s.sumFreq / f
-			sr.AvgQP = s.sumQP / f
-		}
-		res.Sessions = append(res.Sessions, sr)
+		res.Sessions = append(res.Sessions, s.result(e.vnow))
 	}
 	return res
+}
+
+// result summarises the session's state as of virtual time vnow — the
+// same entry buildResult reports, shared with the departure notification
+// so both paths compute identical floats.
+func (s *session) result(vnow float64) SessionResult {
+	dynE := s.dynEnergyJ
+	if s.running {
+		// Sessions still encoding (RunUntilAll tails, AdvanceTo
+		// snapshots) settle their in-flight frame's energy to now.
+		dynE += s.dynCoef * (vnow - s.vMark)
+	}
+	sr := SessionResult{
+		ID:         s.id,
+		Name:       s.cfg.Controller.Name(),
+		Res:        s.cfg.Source.Res(),
+		Frames:     s.frames,
+		Violations: s.violations,
+		DynEnergyJ: dynE,
+		Trace:      s.trace,
+	}
+	if s.frames > 0 {
+		f := float64(s.frames)
+		sr.ViolationPct = 100 * float64(s.violations) / f
+		sr.AvgFPS = s.sumFPS / f
+		sr.AvgPSNRdB = s.sumPSNR / f
+		sr.AvgBitrateMbps = s.sumBitrate / f
+		sr.AvgThreads = s.sumThreads / f
+		sr.AvgFreqGHz = s.sumFreq / f
+		sr.AvgQP = s.sumQP / f
+	}
+	return sr
 }

@@ -1,0 +1,123 @@
+package transcode
+
+import (
+	"reflect"
+	"testing"
+
+	"mamut/internal/video"
+)
+
+// streamEngine builds a three-session engine for the streaming-hook
+// tests.
+func streamEngine(t *testing.T, collectTrace bool) *Engine {
+	t.Helper()
+	eng, err := NewEngine(quietSpec(), quietModel(), 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Settings{QP: 32, Threads: 6, FreqGHz: 2.9}
+	for i, budget := range []int{30, 60, 90} {
+		if _, err := eng.AddSession(SessionConfig{
+			Source: testSource(t, video.HR, int64(92+i)), Controller: &Static{S: set},
+			Initial: set, FrameBudget: budget, CollectTrace: collectTrace,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// TestSessionEndResult: the result delivered at the departure instant
+// must equal the session's entry in the end-of-run Result bit for bit —
+// the property that lets a dispatcher fold sessions at departure and
+// drop them.
+func TestSessionEndResult(t *testing.T) {
+	eng := streamEngine(t, true)
+	atDepart := map[int]SessionResult{}
+	eng.OnSessionEnd(func(end SessionEnd) { atDepart[end.SessionID] = end.Result })
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atDepart) != 3 {
+		t.Fatalf("hook delivered %d results, want 3", len(atDepart))
+	}
+	for id, sr := range res.Sessions {
+		if !reflect.DeepEqual(atDepart[id], sr) {
+			t.Errorf("session %d: depart-time result differs from end-of-run result", id)
+		}
+	}
+}
+
+// TestOnFrameStreamsEveryObservation: the per-frame hook must see the
+// exact observation sequence the retained traces record, in emission
+// order.
+func TestOnFrameStreamsEveryObservation(t *testing.T) {
+	eng := streamEngine(t, true)
+	var streamed []Observation
+	eng.OnFrame(func(obs Observation) { streamed = append(streamed, obs) })
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sr := range res.Sessions {
+		total += len(sr.Trace)
+	}
+	if len(streamed) != total {
+		t.Fatalf("streamed %d observations, traces hold %d", len(streamed), total)
+	}
+	// Emission times are non-decreasing — the property the streaming
+	// power integrator relies on.
+	for i := 1; i < len(streamed); i++ {
+		if streamed[i].Time < streamed[i-1].Time {
+			t.Fatalf("observation %d at t=%g emitted after t=%g", i, streamed[i].Time, streamed[i-1].Time)
+		}
+	}
+	// Per-session, the streamed subsequence equals the retained trace.
+	perSession := map[int][]Observation{}
+	for _, obs := range streamed {
+		perSession[obs.SessionID] = append(perSession[obs.SessionID], obs)
+	}
+	for id, sr := range res.Sessions {
+		if !reflect.DeepEqual(perSession[id], sr.Trace) {
+			t.Errorf("session %d: streamed observations differ from retained trace", id)
+		}
+	}
+}
+
+// TestDiscardDeparted: with discard enabled the end-of-run result omits
+// departed sessions, but the hook already delivered each result — and
+// those results match a no-discard run exactly.
+func TestDiscardDeparted(t *testing.T) {
+	ref := streamEngine(t, true)
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := streamEngine(t, true)
+	eng.DiscardDeparted(true)
+	got := map[int]SessionResult{}
+	eng.OnSessionEnd(func(end SessionEnd) { got[end.SessionID] = end.Result })
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 0 {
+		t.Errorf("discard run retained %d session results", len(res.Sessions))
+	}
+	if len(got) != len(want.Sessions) {
+		t.Fatalf("hook delivered %d results, want %d", len(got), len(want.Sessions))
+	}
+	for id, sr := range want.Sessions {
+		if !reflect.DeepEqual(got[id], sr) {
+			t.Errorf("session %d: discard-run result differs from retaining run", id)
+		}
+	}
+	// Fleet aggregates are unaffected by discarding.
+	if res.EnergyJ != want.EnergyJ || res.DurationSec != want.DurationSec {
+		t.Errorf("discard changed engine aggregates: energy %g vs %g, duration %g vs %g",
+			res.EnergyJ, want.EnergyJ, res.DurationSec, want.DurationSec)
+	}
+}

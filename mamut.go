@@ -2,6 +2,7 @@ package mamut
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"mamut/internal/baseline"
@@ -346,6 +347,14 @@ type (
 	ServeServerResult = serve.ServerResult
 	// ServeClassStats aggregates measured sessions of one resolution class.
 	ServeClassStats = serve.ClassStats
+	// ServeQuantileSummary reports streamed p50/p95/p99 of one metric.
+	ServeQuantileSummary = serve.QuantileSummary
+	// ServeClassDistributions carries a class's FPS and session-duration
+	// quantile summaries, estimated online from fixed-bin sketches.
+	ServeClassDistributions = serve.ClassDistributions
+	// ServeWindowedStats reports time-decayed (recent-window) service
+	// health alongside the whole-window averages.
+	ServeWindowedStats = serve.WindowedStats
 	// PlacementPolicy decides which server admits an arrival.
 	PlacementPolicy = serve.Policy
 	// PlacementFleetIndexer marks a PlacementPolicy that can place from
@@ -369,12 +378,28 @@ type (
 	// KnowledgeStore is the per-resolution-class shared knowledge base a
 	// knowledge-reuse service run maintains.
 	KnowledgeStore = serve.KnowledgeStore
+	// ServeCheckpoint is a durable, append-only grid checkpoint: assign
+	// one to ServeGridSpec.Checkpoint and an interrupted grid resumes
+	// bit-identically, recomputing only the missing cells.
+	ServeCheckpoint = experiments.FileCheckpoint[*serve.Result]
 )
 
 // NewKnowledgeStore returns an empty cross-session knowledge base.
 // RunService builds its own when ServeConfig.KnowledgeReuse is set; a
 // standalone store is for callers folding MAMUTSnapshots themselves.
 func NewKnowledgeStore() *KnowledgeStore { return serve.NewKnowledgeStore() }
+
+// ImportKnowledge reads a versioned, hash-stamped knowledge artifact
+// written by KnowledgeStore.Export, verifying its digest before
+// restoring the store. Pass the result as ServeConfig.Knowledge (with
+// KnowledgeReuse set) to warm-start a fleet from an earlier run.
+func ImportKnowledge(r io.Reader) (*KnowledgeStore, error) { return serve.ImportKnowledge(r) }
+
+// OpenServeCheckpoint opens (or creates) the grid checkpoint file at
+// path, loading every cell already on file.
+func OpenServeCheckpoint(path string) (*ServeCheckpoint, error) {
+	return experiments.OpenFileCheckpoint[*serve.Result](path)
+}
 
 // Placement policies.
 const (
