@@ -28,6 +28,17 @@
 // payload digest, so a corrupted artifact is rejected instead of
 // silently poisoning every warm start.
 //
+// The fleet is elastic: sessions migrate live between servers (frozen
+// mid-frame with learner state, rng cursors and energy accumulators,
+// resumed elsewhere under a -migration-stall handoff penalty). -drain
+// at:server schedules server drains (evacuate, then decommission),
+// -autoscale grows and shrinks the fleet against target-utilization
+// watermarks (-scale-min/-scale-max/-scale-target), and -rebalance
+// migrates sessions away from power-hotspot servers — all on a fixed
+// -epoch schedule, so elastic runs remain byte-identical for any
+// -workers count and both dispatchers. The summary gains an "elastic:"
+// line with migration and scaling counts.
+//
 // Metrics stream: power, utilization, class statistics and FPS/duration
 // quantile sketches fold into constant-size accumulators as sessions
 // depart, so memory stays O(active sessions) over arbitrarily long
@@ -49,6 +60,8 @@
 //	mamut-serve -servers 2 -arrival-rate 0.4 -mean-session 15 -knowledge
 //	mamut-serve -servers 2 -mean-session 15 -knowledge-out kb.json
 //	mamut-serve -servers 2 -mean-session 15 -knowledge-in kb.json -seed 2
+//	mamut-serve -servers 4 -arrival-rate 2 -curve diurnal -amplitude 0.9 \
+//	    -autoscale -rebalance -drain 60:0    # elastic fleet under a spike
 //	mamut-serve -servers 5000 -arrival-rate 100 -duration 60 -cpuprofile cpu.pprof
 //	mamut-serve -servers 2 -policies round-robin,least-loaded,power \
 //	    -rates 0.2,0.4,0.8 -seeds 1,2,3        # (policy x rate x seed) grid
@@ -87,6 +100,14 @@ func main() {
 		rampTo     = flag.Float64("ramp-factor", 2, "ramp: final/base arrival-rate ratio")
 		slo        = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
 		knowledge  = flag.Bool("knowledge", false, "share learned knowledge across sessions (KaaS-style warm starts; mamut approach only)")
+		rebalance  = flag.Bool("rebalance", false, "live-migrate sessions away from power hotspots every epoch")
+		autoscale  = flag.Bool("autoscale", false, "scale the fleet to target utilization (watermark scale-out, drain-based scale-in)")
+		drain      = flag.String("drain", "", "scheduled decommissions as at:server pairs, e.g. 120:0,300:3 (live-migrates sessions off)")
+		epoch      = flag.Float64("epoch", 0, "control-epoch interval for rebalance/autoscale/drain (seconds; 0 = default 30)")
+		migStall   = flag.Float64("migration-stall", 0, "per-migration stall penalty charged to the moved session (seconds; 0 = default 0.25)")
+		scaleMin   = flag.Int("scale-min", 0, "autoscale: minimum in-service servers (0 = 1)")
+		scaleMax   = flag.Int("scale-max", 0, "autoscale: maximum in-service servers (0 = 4x -servers)")
+		scaleTgt   = flag.Float64("scale-target", 0, "autoscale: target utilization percent scale-outs size for (0 = 70)")
 		dispatch   = flag.String("dispatch", string(mamut.DispatchIndexed), "fleet dispatcher: indexed|scan (byte-identical output)")
 		format     = flag.String("format", "summary", "output format for single runs: summary|csv")
 		policies   = flag.String("policies", "", "grid mode: comma-separated policies (with -rates/-seeds)")
@@ -122,6 +143,10 @@ func main() {
 	if setFlags["admission"] && *admission <= 0 {
 		fatal(fmt.Errorf("-admission %d must be >= 1", *admission))
 	}
+	drainEvents, err := parseDrain(*drain)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := mamut.ServeConfig{
 		Servers:              *servers,
 		MaxSessionsPerServer: *admission,
@@ -136,12 +161,22 @@ func main() {
 			CurveAmplitude: *amplitude,
 			RampEndFactor:  *rampTo,
 		},
-		WarmupSec:      *warmup,
-		SLOFPSFactor:   *slo,
-		KnowledgeReuse: *knowledge || *knowIn != "" || *knowOut != "",
-		Dispatch:       mamut.ServeDispatchMode(*dispatch),
-		Seed:           *seed,
-		Workers:        *workers,
+		WarmupSec:         *warmup,
+		SLOFPSFactor:      *slo,
+		KnowledgeReuse:    *knowledge || *knowIn != "" || *knowOut != "",
+		Dispatch:          mamut.ServeDispatchMode(*dispatch),
+		Seed:              *seed,
+		Workers:           *workers,
+		EpochSec:          *epoch,
+		Rebalance:         *rebalance,
+		MigrationStallSec: *migStall,
+		Drain:             drainEvents,
+		Autoscale: mamut.ServeAutoscale{
+			Enabled:       *autoscale,
+			MinServers:    *scaleMin,
+			MaxServers:    *scaleMax,
+			TargetUtilPct: *scaleTgt,
+		},
 	}
 	opts := runOpts{
 		format:       *format,
@@ -166,7 +201,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	err := run(os.Stdout, cfg, opts)
+	err = run(os.Stdout, cfg, opts)
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		if cerr := cpuFile.Close(); cerr != nil {
@@ -189,6 +224,22 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseDrain parses the -drain flag: comma-separated at:server pairs.
+func parseDrain(s string) ([]mamut.ServeDrainEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var events []mamut.ServeDrainEvent
+	for _, part := range strings.Split(s, ",") {
+		var ev mamut.ServeDrainEvent
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%f:%d", &ev.AtSec, &ev.Server); err != nil {
+			return nil, fmt.Errorf("-drain entry %q: want at:server (e.g. 120:0): %v", part, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
 }
 
 // runOpts carries the report- and persistence-level options of one
@@ -322,6 +373,12 @@ func printSummary(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 	if cfg.KnowledgeReuse {
 		fmt.Fprintf(w, "knowledge: %d departed sessions contributed, %d admissions warm-started\n",
 			r.KnowledgeContributions, r.KnowledgeSeeded)
+	}
+	if cfg.Elastic() {
+		// Only elastic configs print this line, so the byte output of
+		// every pre-existing invocation is unchanged.
+		fmt.Fprintf(w, "elastic: %d migrations, +%d/-%d servers (peak %d in service)\n",
+			r.Migrations, r.ServersAdded, r.ServersRemoved, r.PeakServers)
 	}
 	for _, cls := range []struct {
 		name  string

@@ -46,6 +46,84 @@ func fleetSmokeConfig(policy string) mamut.ServeConfig {
 // 64-server fleet under every built-in policy to committed goldens —
 // byte-identical across worker counts and across both dispatcher
 // implementations.
+// elasticSmokeConfig mirrors the CI elastic smoke step's flags — a
+// diurnal spike whose peak forces scale-out and whose trough forces
+// scale-in, with a scheduled drain and hotspot rebalancing on top:
+//
+//	mamut-serve -servers 32 -admission 4 -arrival-rate 8 -duration 60 \
+//	    -warmup 15 -mean-session 10 -amplitude 0.9 -approach heuristic \
+//	    -seed 7 -curve diurnal -autoscale -rebalance -drain 20:0 \
+//	    -epoch 5 -scale-max 48
+func elasticSmokeConfig() mamut.ServeConfig {
+	cfg := fleetSmokeConfig(mamut.PolicyLeastLoaded)
+	cfg.Servers = 32
+	cfg.MaxSessionsPerServer = 4
+	cfg.Workload.ArrivalRate = 8
+	cfg.Workload.DurationSec = 60
+	cfg.Workload.Curve = mamut.LoadDiurnal
+	cfg.Workload.CurveAmplitude = 0.9
+	cfg.WarmupSec = 15
+	cfg.EpochSec = 5
+	cfg.Rebalance = true
+	cfg.Autoscale = mamut.ServeAutoscale{Enabled: true, MaxServers: 48}
+	cfg.Drain = []mamut.ServeDrainEvent{{AtSec: 20, Server: 0}}
+	return cfg
+}
+
+// TestElasticFleetGolden pins the summary output of a 32-server elastic
+// run — diurnal spike, autoscaling, hotspot rebalancing and a scheduled
+// drain all active — to a committed golden, byte-identical across worker
+// counts and both dispatchers: live migration and fleet topology changes
+// preserve the repo's determinism contract.
+func TestElasticFleetGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "elastic32.golden")
+	outputs := map[string][]byte{}
+	for _, variant := range []struct {
+		name     string
+		dispatch mamut.ServeDispatchMode
+		workers  int
+	}{
+		{"indexed_w1", mamut.DispatchIndexed, 1},
+		{"indexed_w4", mamut.DispatchIndexed, 4},
+		{"scan_w1", mamut.DispatchScan, 1},
+	} {
+		cfg := elasticSmokeConfig()
+		cfg.Dispatch = variant.dispatch
+		cfg.Workers = variant.workers
+		var buf bytes.Buffer
+		if err := run(&buf, cfg, runOpts{format: "summary", workers: cfg.Workers}); err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		outputs[variant.name] = buf.Bytes()
+	}
+	for name, out := range outputs {
+		if !bytes.Equal(out, outputs["indexed_w1"]) {
+			t.Fatalf("output of %s differs from indexed_w1", name)
+		}
+	}
+	if !bytes.Contains(outputs["indexed_w1"], []byte("elastic: ")) {
+		t.Fatalf("summary missing the elastic line:\n%s", outputs["indexed_w1"])
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, outputs["indexed_w1"], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden written to %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(outputs["indexed_w1"], want) {
+		t.Errorf("output diverged from committed golden %s:\n got:\n%s\nwant:\n%s",
+			golden, outputs["indexed_w1"], want)
+	}
+}
+
 func TestFleetSmokeGolden(t *testing.T) {
 	for _, policy := range mamut.ServePolicyNames() {
 		t.Run(policy, func(t *testing.T) {

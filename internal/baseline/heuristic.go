@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"mamut/internal/platform"
@@ -187,4 +188,49 @@ func (h *Heuristic) OnFrameDone(obs transcode.Observation) {
 // Settings returns the knob values currently in force.
 func (h *Heuristic) Settings() transcode.Settings { return h.settings }
 
+// heuristicState serialises the controller's mutable state for live
+// session migration (the config is rebuilt by the destination).
+type heuristicState struct {
+	Settings    transcode.Settings `json:"settings"`
+	N           int                `json:"n"`
+	SumFPS      float64            `json:"sum_fps"`
+	SumPSNR     float64            `json:"sum_psnr"`
+	SumPower    float64            `json:"sum_power"`
+	SumBitrate  float64            `json:"sum_bitrate"`
+	LastFPS     float64            `json:"last_fps"`
+	GrewThreads bool               `json:"grew_threads"`
+}
+
+// ControllerState implements transcode.StatefulController: the complete
+// decision state (current settings, window accumulators, effectiveness
+// check memory), so a migrated session's rule firing is unchanged.
+func (h *Heuristic) ControllerState() ([]byte, error) {
+	return json.Marshal(heuristicState{
+		Settings: h.settings, N: h.n,
+		SumFPS: h.sumFPS, SumPSNR: h.sumPSNR,
+		SumPower: h.sumPower, SumBitrate: h.sumBitrate,
+		LastFPS: h.lastFPS, GrewThreads: h.grewThreads,
+	})
+}
+
+// RestoreControllerState implements transcode.StatefulController.
+func (h *Heuristic) RestoreControllerState(data []byte) error {
+	var st heuristicState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("baseline: restore heuristic state: %w", err)
+	}
+	if err := st.Settings.Validate(); err != nil {
+		return fmt.Errorf("baseline: restore heuristic state: %w", err)
+	}
+	if st.N < 0 {
+		return fmt.Errorf("baseline: restore heuristic state: negative window count %d", st.N)
+	}
+	h.settings = st.Settings
+	h.n = st.N
+	h.sumFPS, h.sumPSNR, h.sumPower, h.sumBitrate = st.SumFPS, st.SumPSNR, st.SumPower, st.SumBitrate
+	h.lastFPS, h.grewThreads = st.LastFPS, st.GrewThreads
+	return nil
+}
+
 var _ transcode.Controller = (*Heuristic)(nil)
+var _ transcode.StatefulController = (*Heuristic)(nil)

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mamut/internal/rl"
+	"mamut/internal/transcode"
+)
+
+// resumeFormatVersion is the current MarshalResumeState payload format.
+// Restorers accept this version and older; newer payloads error cleanly.
+const resumeFormatVersion = 1
+
+// pendingState serialises the in-flight Q-update: the action awaiting its
+// next-state observation plus the NULL-slot metric accumulators. Save/Load
+// deliberately drop this (persisting a trained table between runs), but a
+// live migration must carry it — losing it would skip one Q-update and
+// fork the learning trajectory from the non-migrated baseline.
+type pendingState struct {
+	Agent      int     `json:"agent"`
+	State      int     `json:"state"`
+	Action     int     `json:"action"`
+	SumPSNR    float64 `json:"sum_psnr"`
+	SumPower   float64 `json:"sum_power"`
+	SumBitrate float64 `json:"sum_bitrate"`
+	SumFPS     float64 `json:"sum_fps"`
+	N          int     `json:"n"`
+}
+
+// resumeState is the complete mid-stream controller state minus the rng,
+// whose stream belongs to the caller that built the controller (the serve
+// layer owns it as an xrand.Source and snapshots it alongside).
+type resumeState struct {
+	Version  int                `json:"format_version"`
+	Settings transcode.Settings `json:"settings"`
+	CurState int                `json:"cur_state"`
+	Started  bool               `json:"started"`
+	Stats    Stats              `json:"stats"`
+	Pending  *pendingState      `json:"pending,omitempty"`
+	Agents   [3]json.RawMessage `json:"agents"`
+}
+
+// MarshalResumeState freezes the controller's complete decision state:
+// knob settings, discretized state, learning telemetry, the in-flight
+// pending update, and all three agents' full learning state. Unlike Save,
+// the payload restores a controller mid-stream with no behavioural fork.
+// The exploration rng is not included; the owner of the *rand.Rand passed
+// to New must snapshot its stream separately.
+func (c *Controller) MarshalResumeState() ([]byte, error) {
+	st := resumeState{
+		Version:  resumeFormatVersion,
+		Settings: c.settings,
+		CurState: c.curState,
+		Started:  c.started,
+		Stats:    c.stats,
+	}
+	if p := c.pend; p != nil {
+		st.Pending = &pendingState{
+			Agent: int(p.agent), State: p.state, Action: p.action,
+			SumPSNR: p.sumPSNR, SumPower: p.sumPower,
+			SumBitrate: p.sumBitrate, SumFPS: p.sumFPS, N: p.n,
+		}
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		var buf bytes.Buffer
+		if err := c.agents[k].learner.Save(&buf); err != nil {
+			return nil, fmt.Errorf("core: resume state: save agent %v: %w", k, err)
+		}
+		st.Agents[k] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	out, err := json.Marshal(&st)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume state: %w", err)
+	}
+	return out, nil
+}
+
+// RestoreResumeState loads a MarshalResumeState payload into this
+// controller, which must have been built with the same configuration
+// (action-set sizes are checked). On success the controller continues the
+// stream exactly where the marshalled one stopped.
+func (c *Controller) RestoreResumeState(data []byte) error {
+	var st resumeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: restore resume state: %w", err)
+	}
+	if st.Version < 0 || st.Version > resumeFormatVersion {
+		return fmt.Errorf("core: restore resume state: format version %d not supported (current %d)",
+			st.Version, resumeFormatVersion)
+	}
+	if err := st.Settings.Validate(); err != nil {
+		return fmt.Errorf("core: restore resume state: %w", err)
+	}
+	if st.CurState < 0 || st.CurState >= NumStates {
+		return fmt.Errorf("core: restore resume state: state %d out of range", st.CurState)
+	}
+	var loaded [3]*rl.Learner
+	for k := AgentQP; k < numAgents; k++ {
+		l, err := rl.LoadLearner(bytes.NewReader(st.Agents[k]))
+		if err != nil {
+			return fmt.Errorf("core: restore agent %v: %w", k, err)
+		}
+		if l.Config().Actions != c.agents[k].actions() {
+			return fmt.Errorf("core: restore agent %v: %d actions saved, controller has %d",
+				k, l.Config().Actions, c.agents[k].actions())
+		}
+		loaded[k] = l
+	}
+	var pend *pending
+	if p := st.Pending; p != nil {
+		if p.Agent < 0 || p.Agent >= int(numAgents) {
+			return fmt.Errorf("core: restore resume state: pending agent %d out of range", p.Agent)
+		}
+		if p.State < 0 || p.State >= NumStates {
+			return fmt.Errorf("core: restore resume state: pending state %d out of range", p.State)
+		}
+		if p.Action < 0 || p.Action >= c.agents[p.Agent].actions() {
+			return fmt.Errorf("core: restore resume state: pending action %d out of range", p.Action)
+		}
+		if p.N < 0 {
+			return fmt.Errorf("core: restore resume state: negative pending count %d", p.N)
+		}
+		pend = &pending{
+			agent: AgentKind(p.Agent), state: p.State, action: p.Action,
+			sumPSNR: p.SumPSNR, sumPower: p.SumPower,
+			sumBitrate: p.SumBitrate, sumFPS: p.SumFPS, n: p.N,
+		}
+	}
+	for k := AgentQP; k < numAgents; k++ {
+		c.agents[k].learner = loaded[k]
+	}
+	c.settings = st.Settings
+	c.curState = st.CurState
+	c.started = st.Started
+	c.stats = st.Stats
+	c.pend = pend
+	return nil
+}

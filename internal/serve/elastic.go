@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mamut/internal/core"
+	"mamut/internal/experiments"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+	"mamut/internal/xrand"
+)
+
+// Fleet elasticity: live session migration, server drain/decommission and
+// autoscaling. The dispatcher runs a fixed epoch schedule interleaved with
+// the arrival stream (an epoch due at an arrival's instant fires before
+// the arrival, and epochs continue past the last arrival to the workload
+// horizon); at each epoch it steps the fleet to the epoch instant, applies
+// scheduled drains and the autoscaler's watermark decisions, migrates
+// sessions off draining servers, and lets the Rebalancer plan hotspot
+// migrations. Everything happens in the sequential phase of the run —
+// never during the concurrent post-horizon drain — and sessions are always
+// selected in arrival-ID order, so results stay bit-identical for any
+// worker count and both dispatcher implementations.
+//
+// A migration moves the live session — frame cursor, playlist/content
+// process, controller decision state, every rng stream, accumulators — via
+// transcode.ExtractSession/InjectSession, paying Config.MigrationStallSec
+// of in-flight-frame stall on the destination. The session keeps its
+// arrival identity: its eventual departure record (and therefore its SLO
+// outcome, busy time and per-class statistics) is attributed to the server
+// it departs from.
+
+// Elasticity defaults.
+const (
+	// DefaultEpochSec is the control-epoch interval when a Config enables
+	// an elasticity feature without setting EpochSec.
+	DefaultEpochSec = 30.0
+	// DefaultMigrationStallSec is the per-migration stall penalty: the
+	// in-flight frame of a migrated session is delayed this many real
+	// seconds (state transfer and stream re-attachment), counting against
+	// the SLO like any slow frame.
+	DefaultMigrationStallSec = 0.25
+)
+
+// RebalancerPowerHotspot names the built-in rebalancer Config.Rebalance
+// enables: every epoch it plans one migration away from each server whose
+// estimated package power exceeds its power budget, onto the server with
+// the most power headroom.
+const RebalancerPowerHotspot = "power-hotspot"
+
+// Move directs one rebalancing step: migrate Sessions resident sessions
+// from server From to server To. The dispatcher executes moves in plan
+// order, picks the sessions with the lowest arrival IDs, and caps each
+// move at the destination's free capacity; moves onto full or draining
+// servers are skipped, not errors (the plan may be deliberately greedy).
+type Move struct {
+	From, To int
+	Sessions int
+}
+
+// Rebalancer plans live session migrations on the dispatcher's epoch
+// schedule. Implementations must be deterministic: the plan may depend
+// only on the arguments (the dispatcher's two implementations and any
+// worker count present identical fleet states, and the results are
+// required to stay byte-identical).
+type Rebalancer interface {
+	// Name returns the rebalancer's registry name.
+	Name() string
+	// Plan inspects the in-service fleet (ordered by Index; draining
+	// servers included with Draining set, decommissioned servers absent)
+	// and returns the migrations to perform at this epoch.
+	Plan(now float64, servers []ServerState) []Move
+}
+
+// powerHotspot is the built-in Rebalancer: one session per epoch away
+// from each over-budget server, onto the coolest server with room —
+// mirroring the power-aware placement policy's ranking quantity so the
+// two pull the fleet toward the same equilibrium.
+type powerHotspot struct{}
+
+// Name implements Rebalancer.
+func (powerHotspot) Name() string { return RebalancerPowerHotspot }
+
+// Plan implements Rebalancer.
+func (powerHotspot) Plan(_ float64, servers []ServerState) []Move {
+	var moves []Move
+	for _, s := range servers {
+		if s.Draining || s.Active == 0 || s.EstPowerW <= s.PowerBudgetW {
+			continue
+		}
+		// Coolest target with room, lowest index among ties (the
+		// power-aware scan's argmax-with-first-wins discipline).
+		best, bestHead := -1, 0.0
+		for _, t := range servers {
+			if t.Full() || t.Index == s.Index {
+				continue
+			}
+			if head := t.PowerBudgetW - t.EstPowerW; best == -1 || head > bestHead {
+				best, bestHead = t.Index, head
+			}
+		}
+		// Only migrate toward genuinely cooler ground: a target no better
+		// than the hotspot itself would just move the hotspot around.
+		if best == -1 || bestHead <= s.PowerBudgetW-s.EstPowerW {
+			continue
+		}
+		moves = append(moves, Move{From: s.Index, To: best, Sessions: 1})
+	}
+	return moves
+}
+
+// AutoscaleConfig parametrises target-utilization fleet autoscaling.
+// Utilization is resident sessions as a share of the admittable fleet's
+// capacity (non-draining in-service servers x the admission limit),
+// evaluated at each control epoch: above HighPct the fleet scales out to
+// the size that brings utilization back to TargetUtilPct (bounded by
+// MaxServers); below LowPct it drains the highest-index admittable
+// server (one per epoch, bounded by MinServers), which is then emptied
+// by migration and decommissioned once empty.
+type AutoscaleConfig struct {
+	// Enabled turns the autoscaler on.
+	Enabled bool
+	// MinServers and MaxServers bound the in-service fleet size.
+	// Defaults: 1 and 4x the initial fleet.
+	MinServers, MaxServers int
+	// TargetUtilPct is the utilization scale-outs size the fleet for.
+	// Default 70.
+	TargetUtilPct float64
+	// HighPct and LowPct are the scale-out/scale-in watermarks.
+	// Defaults 85 and 40.
+	HighPct, LowPct float64
+}
+
+// DrainEvent schedules one server decommission: at the first control
+// epoch at or after AtSec the server stops admitting, its sessions are
+// migrated off (in arrival-ID order, as capacity allows), and it is
+// removed from the fleet once empty.
+type DrainEvent struct {
+	// AtSec is the service time the decommission is requested at.
+	AtSec float64
+	// Server is the index of the server to decommission (an initial
+	// fleet index, 0..Servers-1).
+	Server int
+}
+
+// Elastic reports whether the config enables any elasticity feature
+// (rebalancing, autoscaling or scheduled drains) — and therefore the
+// epoch schedule that drives them.
+func (c Config) Elastic() bool {
+	return c.Rebalance || c.RebalancerFactory != nil || c.Autoscale.Enabled || len(c.Drain) > 0
+}
+
+// --- stateful controller wrapper -------------------------------------
+
+// statefulMAMUT couples a core.Controller with the rng source its
+// exploration draws from, implementing transcode.StatefulController so
+// MAMUT sessions are migratable: the resume payload (settings, learner
+// tables, in-flight pending update) and the rng stream position together
+// are the controller's complete state. Wrapping is transparent — the
+// embedded controller sees the identical rng stream it would own
+// directly, so non-elastic results are unchanged.
+type statefulMAMUT struct {
+	*core.Controller
+	src *xrand.Source
+}
+
+// mamutCtrlState is the wrapper's serialised form.
+type mamutCtrlState struct {
+	Resume json.RawMessage `json:"resume"`
+	RNG    uint64          `json:"rng"`
+}
+
+// ControllerState implements transcode.StatefulController.
+func (c *statefulMAMUT) ControllerState() ([]byte, error) {
+	resume, err := c.MarshalResumeState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(mamutCtrlState{Resume: resume, RNG: c.src.State()})
+}
+
+// RestoreControllerState implements transcode.StatefulController.
+func (c *statefulMAMUT) RestoreControllerState(data []byte) error {
+	var st mamutCtrlState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("serve: restore mamut controller: %w", err)
+	}
+	if len(st.Resume) == 0 {
+		return fmt.Errorf("serve: restore mamut controller: missing resume payload")
+	}
+	if err := c.RestoreResumeState(st.Resume); err != nil {
+		return err
+	}
+	c.src.SetState(st.RNG)
+	return nil
+}
+
+var _ transcode.StatefulController = (*statefulMAMUT)(nil)
+
+// wrapStateful makes a factory-built controller migratable where the
+// factory alone cannot: a core.Controller is paired with the rng source
+// it was built over. Other controllers pass through (the heuristic is
+// stateful by itself; the mono-agent is rejected for elastic configs by
+// Validate).
+func wrapStateful(ctrl transcode.Controller, src *xrand.Source) transcode.Controller {
+	if mc, ok := ctrl.(*core.Controller); ok {
+		return &statefulMAMUT{Controller: mc, src: src}
+	}
+	return ctrl
+}
+
+// mamutController unwraps the knowledge-harvest target from a session's
+// controller.
+func mamutController(ctrl transcode.Controller) *core.Controller {
+	switch c := ctrl.(type) {
+	case *statefulMAMUT:
+		return c.Controller
+	case *core.Controller:
+		return c
+	}
+	return nil
+}
+
+// --- epoch machinery --------------------------------------------------
+
+// epoch runs one control step at time t: step the fleet there, fold what
+// departed, then drain/scale/migrate. Called only in the sequential phase
+// (between arrivals, or between the last arrival and the horizon), so
+// every decision and migration lands at a deterministic point of the one
+// merged event order.
+func (d *dispatcher) epoch(t float64) error {
+	if err := d.sweepTo(t); err != nil {
+		return err
+	}
+	if d.store != nil {
+		if err := d.foldDepartures(); err != nil {
+			return err
+		}
+	}
+	d.foldStats(t)
+	// The scan dispatcher rebuilds states per arrival rather than
+	// incrementally; sync them here so epoch decisions read the same
+	// occupancy/power floats the indexed path maintains.
+	if !d.indexed {
+		for i, fs := range d.servers {
+			if !fs.retired {
+				d.refreshState(i)
+			}
+		}
+	}
+	for len(d.drainQueue) > 0 && d.drainQueue[0].AtSec <= t {
+		d.markDraining(d.drainQueue[0].Server)
+		d.drainQueue = d.drainQueue[1:]
+	}
+	if d.cfg.Autoscale.Enabled {
+		d.autoscale()
+	}
+	if err := d.evacuate(t); err != nil {
+		return err
+	}
+	if d.reb != nil {
+		if err := d.applyMoves(t, d.reb.Plan(t, d.planStates())); err != nil {
+			return err
+		}
+	}
+	d.retireEmpty()
+	return nil
+}
+
+// markDraining decommissions server i: no further admissions (its state
+// reports Full), and evacuate will migrate its sessions off until it can
+// be retired. Idempotent; retired servers are left alone.
+func (d *dispatcher) markDraining(i int) {
+	fs := d.servers[i]
+	if fs.decom || fs.retired {
+		return
+	}
+	fs.decom = true
+	d.refreshState(i)
+}
+
+// autoscale applies the watermark policy against current utilization.
+func (d *dispatcher) autoscale() {
+	as := d.cfg.Autoscale
+	admittable := 0
+	for _, fs := range d.servers {
+		if !fs.retired && !fs.decom {
+			admittable++
+		}
+	}
+	capacity := admittable * d.cfg.MaxSessionsPerServer
+	switch {
+	case capacity == 0 || 100*float64(d.active) > as.HighPct*float64(capacity):
+		if admittable >= as.MaxServers {
+			return
+		}
+		// Size for the target: the smallest admittable fleet that brings
+		// utilization back to TargetUtilPct.
+		desired := int(math.Ceil(100 * float64(d.active) / (as.TargetUtilPct * float64(d.cfg.MaxSessionsPerServer))))
+		if desired <= admittable {
+			desired = admittable + 1
+		}
+		if desired > as.MaxServers {
+			desired = as.MaxServers
+		}
+		for n := admittable; n < desired; n++ {
+			d.addServer()
+		}
+	case 100*float64(d.active) < as.LowPct*float64(capacity):
+		if admittable <= as.MinServers {
+			return
+		}
+		// Drain the highest-index admittable server, one per epoch —
+		// scale-in is deliberately slower than scale-out so a transient
+		// lull cannot collapse the fleet under a returning peak.
+		for i := len(d.servers) - 1; i >= 0; i-- {
+			if fs := d.servers[i]; !fs.retired && !fs.decom {
+				d.markDraining(i)
+				return
+			}
+		}
+	}
+}
+
+// addServer grows the fleet by one server (engine built lazily on first
+// admission, seeded by its index exactly like an initial server).
+func (d *dispatcher) addServer() {
+	i := len(d.servers)
+	fs := &fleetServer{resident: make(map[int]residentRec)}
+	if d.store != nil {
+		fs.harvest = make(map[int]harvestEntry)
+	}
+	d.servers = append(d.servers, fs)
+	d.states = append(d.states, ServerState{
+		Index:        i,
+		MaxSessions:  d.cfg.MaxSessionsPerServer,
+		EstPowerW:    d.spec.IdlePowerW,
+		PowerBudgetW: d.budget,
+	})
+	d.admitCount = append(d.admitCount, 0)
+	d.busy = append(d.busy, 0)
+	if d.indexed {
+		d.nextEvt = append(d.nextEvt, math.Inf(1))
+	}
+	d.liveSrv++
+	if d.liveSrv > d.peakSrv {
+		d.peakSrv = d.liveSrv
+	}
+	d.addedSrv++
+	d.rebuildIndex()
+}
+
+// retireEmpty removes emptied draining servers from the fleet. Their
+// accumulated results (admissions, power window, peak) stay in the final
+// report; their indexes are never reused.
+func (d *dispatcher) retireEmpty() {
+	changed := false
+	for _, fs := range d.servers {
+		if fs.decom && !fs.retired && fs.cur == 0 {
+			fs.retired = true
+			d.liveSrv--
+			d.removedSrv++
+			changed = true
+		}
+	}
+	if changed {
+		d.rebuildIndex()
+	}
+}
+
+// rebuildIndex rebuilds the policy's fleet index over the in-service
+// servers after a topology change (a server added or retired). Marking a
+// server draining needs no rebuild: its state update invalidates its
+// index entries lazily.
+func (d *dispatcher) rebuildIndex() {
+	if !d.indexed {
+		return
+	}
+	if fi, ok := d.pol.(FleetIndexer); ok {
+		d.idx = fi.NewFleetIndex(d.planStates())
+	}
+}
+
+// planStates snapshots the in-service fleet's states, ordered by index —
+// what rebalancers plan from and rebuilt indexes initialise from.
+func (d *dispatcher) planStates() []ServerState {
+	out := make([]ServerState, 0, d.liveSrv)
+	for i, fs := range d.servers {
+		if !fs.retired {
+			out = append(out, d.states[i])
+		}
+	}
+	return out
+}
+
+// evacuate migrates sessions off every draining server, lowest arrival
+// ID first, onto the least-loaded admittable server. Sessions that do
+// not fit anywhere stay and are retried at the next epoch.
+func (d *dispatcher) evacuate(t float64) error {
+	for i, fs := range d.servers {
+		if !fs.decom || fs.retired || fs.cur == 0 {
+			continue
+		}
+		for _, id := range sessionsByArrival(fs, len(fs.resident)) {
+			to := d.evacTarget()
+			if to < 0 {
+				break
+			}
+			if err := d.migrate(t, i, id, to); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evacTarget picks the least-loaded admittable server (lowest index
+// among ties), or -1 when the whole fleet is full.
+func (d *dispatcher) evacTarget() int {
+	best, bestActive := -1, 0
+	for i := range d.states {
+		s := &d.states[i]
+		if s.Full() {
+			continue
+		}
+		if best == -1 || s.Active < bestActive {
+			best, bestActive = i, s.Active
+		}
+	}
+	return best
+}
+
+// sessionsByArrival returns up to n of the server's resident session ids,
+// ordered by arrival ID — the deterministic migration order.
+func sessionsByArrival(fs *fleetServer, n int) []int {
+	ids := make([]int, 0, len(fs.resident))
+	for id := range fs.resident {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return fs.resident[ids[a]].reqID < fs.resident[ids[b]].reqID })
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// applyMoves executes a rebalancing plan. Out-of-range endpoints are a
+// contract violation (a buggy rebalancer must fail loudly); infeasible
+// moves — draining or full destinations, emptied sources, counts beyond
+// capacity — are capped or skipped, because a plan is allowed to be
+// greedy about a fleet whose earlier moves already changed it.
+func (d *dispatcher) applyMoves(t float64, moves []Move) error {
+	for _, m := range moves {
+		if m.From < 0 || m.From >= len(d.servers) || m.To < 0 || m.To >= len(d.servers) || m.Sessions < 0 {
+			return fmt.Errorf("serve: rebalancer %q violated the plan contract: move %+v outside fleet of %d servers",
+				d.reb.Name(), m, len(d.servers))
+		}
+		if m.From == m.To {
+			continue
+		}
+		src, dst := d.servers[m.From], d.servers[m.To]
+		if src.retired || dst.retired || dst.decom {
+			continue
+		}
+		for _, id := range sessionsByArrival(src, m.Sessions) {
+			if d.states[m.To].Full() {
+				break
+			}
+			if err := d.migrate(t, m.From, id, m.To); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// migrate moves one live session between servers at time t: extract on
+// the source engine, rebuild its source/controller shells, and inject on
+// the destination with the configured stall penalty. All dispatcher-side
+// bookkeeping (resident maps, class counts, knowledge-harvest identity,
+// incremental states, the engine event heap) moves with it.
+func (d *dispatcher) migrate(t float64, from, sessID, to int) error {
+	src, dst := d.servers[from], d.servers[to]
+	rec, ok := src.resident[sessID]
+	if !ok {
+		return fmt.Errorf("serve: migrate: server %d has no session %d", from, sessID)
+	}
+	if err := src.eng.AdvanceTo(t); err != nil {
+		return err
+	}
+	if dst.eng == nil {
+		if err := d.createEngine(to); err != nil {
+			return err
+		}
+	}
+	if err := dst.eng.AdvanceTo(t); err != nil {
+		return err
+	}
+	st, err := src.eng.ExtractSession(sessID)
+	if err != nil {
+		return fmt.Errorf("serve: migrate session %d off server %d: %w", sessID, from, err)
+	}
+	st.StallSec = d.cfg.MigrationStallSec
+
+	// Fresh shells for the destination; InjectSession restores their
+	// mid-stream state from the payload, so the construction seeds are
+	// irrelevant — and the warm-start hook must stay out of the way (the
+	// resume payload carries the learner tables in full).
+	seq, err := d.catalog.Get(rec.seq)
+	if err != nil {
+		return err
+	}
+	gsrc, err := video.NewStatefulGenerator(seq, 0)
+	if err != nil {
+		return err
+	}
+	ctrlSrc := xrand.NewSource(0)
+	d.pendingSeed = nil
+	ctrl, err := d.factory(rec.res, experiments.InitialSettings(rec.res), rand.New(ctrlSrc))
+	if err != nil {
+		return err
+	}
+	ctrl = wrapStateful(ctrl, ctrlSrc)
+	newID, err := dst.eng.InjectSession(gsrc, ctrl, st)
+	if err != nil {
+		return fmt.Errorf("serve: migrate session %d to server %d: %w", sessID, to, err)
+	}
+
+	delete(src.resident, sessID)
+	src.cur--
+	dst.resident[newID] = rec
+	dst.cur++
+	if dst.cur > dst.peak {
+		dst.peak = dst.cur
+	}
+	if rec.res == video.HR {
+		src.hr--
+		dst.hr++
+	} else {
+		src.lr--
+		dst.lr++
+	}
+	if src.harvest != nil {
+		if he, ok := src.harvest[sessID]; ok {
+			delete(src.harvest, sessID)
+			if mc := mamutController(ctrl); mc != nil {
+				he.ctrl = mc
+				dst.harvest[newID] = he
+			}
+		}
+	}
+	d.migrations++
+	d.refreshState(from)
+	d.refreshState(to)
+	if d.indexed {
+		d.scheduleServer(from)
+		d.scheduleServer(to)
+	}
+	return nil
+}

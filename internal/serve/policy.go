@@ -30,14 +30,19 @@ type ServerState struct {
 	// EstArrivalW is the estimated power the incoming session would add
 	// to this server (computed from the fleet's platform spec).
 	EstArrivalW float64
+	// Draining marks a server being decommissioned: it admits nothing
+	// (Full reports true) and its sessions are being live-migrated off.
+	// Always false unless the config enables an elasticity feature.
+	Draining bool
 	// PowerBudgetW is the power level the server should stay under: the
 	// power cap, tightened to the thermal-throttle steady-state power
 	// when the thermal model is enabled.
 	PowerBudgetW float64
 }
 
-// Full reports whether the server is at its admission limit.
-func (s ServerState) Full() bool { return s.Active >= s.MaxSessions }
+// Full reports whether the server can admit nothing: at its admission
+// limit, or draining toward decommission.
+func (s ServerState) Full() bool { return s.Draining || s.Active >= s.MaxSessions }
 
 // Policy decides which server of the fleet admits an arrival. Place
 // returns the chosen server's Index, or -1 to reject the arrival. The

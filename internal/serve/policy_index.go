@@ -50,22 +50,28 @@ type FleetIndex interface {
 // --- round-robin -----------------------------------------------------
 
 // rrIndex is the trivial index: blind rotation never inspects server
-// state, so Place is the cursor itself. It shares the cursor with the
-// policy instance.
+// state, so Place is the cursor applied to the fleet it was built over
+// (server indexes, not positions — after a retirement the two differ).
+// It shares the cursor with the policy instance, so a rebuild on a
+// topology change continues the rotation where it was.
 type rrIndex struct {
-	p *roundRobin
-	n int
+	p   *roundRobin
+	ids []int
 }
 
 // NewFleetIndex implements FleetIndexer.
 func (p *roundRobin) NewFleetIndex(states []ServerState) FleetIndex {
-	return &rrIndex{p: p, n: len(states)}
+	ids := make([]int, len(states))
+	for i, s := range states {
+		ids[i] = s.Index
+	}
+	return &rrIndex{p: p, ids: ids}
 }
 
 func (x *rrIndex) Update(ServerState) {}
 
 func (x *rrIndex) Place(SessionRequest) int {
-	idx := x.p.next % x.n
+	idx := x.ids[x.p.next%len(x.ids)]
 	x.p.next++
 	return idx
 }
@@ -81,6 +87,7 @@ func (x *rrIndex) Place(SessionRequest) int {
 type llIndex struct {
 	occ    []int
 	max    []int
+	drain  []bool
 	bucket []heaps.Heap[serverIdx]
 }
 
@@ -97,9 +104,14 @@ func (leastLoaded) NewFleetIndex(states []ServerState) FleetIndex {
 			maxSessions = s.MaxSessions
 		}
 	}
+	// Per-server arrays are indexed by ServerState.Index, which an
+	// elastic fleet does not keep dense: retired servers leave holes and
+	// added servers extend past them, so size by the largest index.
+	n := indexSpan(states)
 	x := &llIndex{
-		occ:    make([]int, len(states)),
-		max:    make([]int, len(states)),
+		occ:    make([]int, n),
+		max:    make([]int, n),
+		drain:  make([]bool, n),
 		bucket: make([]heaps.Heap[serverIdx], maxSessions), // placeable occupancies: 0..max-1
 	}
 	for _, s := range states {
@@ -113,7 +125,8 @@ func (leastLoaded) NewFleetIndex(states []ServerState) FleetIndex {
 func (x *llIndex) set(s ServerState) {
 	x.occ[s.Index] = s.Active
 	x.max[s.Index] = s.MaxSessions
-	if s.Active < s.MaxSessions && s.Active < len(x.bucket) {
+	x.drain[s.Index] = s.Draining
+	if !s.Full() && s.Active < len(x.bucket) {
 		x.bucket[s.Active].Push(serverIdx(s.Index))
 	}
 }
@@ -125,10 +138,10 @@ func (x *llIndex) Place(SessionRequest) int {
 		b := &x.bucket[a]
 		for b.Len() > 0 {
 			idx := int(b.Peek())
-			if x.occ[idx] == a && a < x.max[idx] {
+			if x.occ[idx] == a && a < x.max[idx] && !x.drain[idx] {
 				return idx
 			}
-			b.Pop() // stale: the server moved to another occupancy
+			b.Pop() // stale: the server moved to another occupancy or drained
 		}
 	}
 	return -1
@@ -143,18 +156,21 @@ func (x *llIndex) Place(SessionRequest) int {
 // they surface; every Update pushes a fresh entry, so the current state
 // of every candidate is always represented.
 type paIndex struct {
-	head []float64
-	occ  []int
-	max  []int
-	h    heaps.Heap[paEntry]
+	head  []float64
+	occ   []int
+	max   []int
+	drain []bool
+	h     heaps.Heap[paEntry]
 }
 
 // NewFleetIndex implements FleetIndexer.
 func (powerAware) NewFleetIndex(states []ServerState) FleetIndex {
+	n := indexSpan(states) // see llIndex: elastic fleets are not dense
 	x := &paIndex{
-		head: make([]float64, len(states)),
-		occ:  make([]int, len(states)),
-		max:  make([]int, len(states)),
+		head:  make([]float64, n),
+		occ:   make([]int, n),
+		max:   make([]int, n),
+		drain: make([]bool, n),
 	}
 	for _, s := range states {
 		x.set(s)
@@ -166,7 +182,8 @@ func (x *paIndex) set(s ServerState) {
 	x.head[s.Index] = s.PowerBudgetW - s.EstPowerW
 	x.occ[s.Index] = s.Active
 	x.max[s.Index] = s.MaxSessions
-	if s.Active < s.MaxSessions {
+	x.drain[s.Index] = s.Draining
+	if !s.Full() {
 		x.h.Push(paEntry{headroom: x.head[s.Index], id: s.Index})
 	}
 }
@@ -176,12 +193,24 @@ func (x *paIndex) Update(s ServerState) { x.set(s) }
 func (x *paIndex) Place(SessionRequest) int {
 	for x.h.Len() > 0 {
 		top := x.h.Peek()
-		if top.headroom == x.head[top.id] && x.occ[top.id] < x.max[top.id] {
+		if top.headroom == x.head[top.id] && x.occ[top.id] < x.max[top.id] && !x.drain[top.id] {
 			return top.id
 		}
-		x.h.Pop() // stale: the server's headroom or fullness changed
+		x.h.Pop() // stale: the server's headroom, fullness or drain state changed
 	}
 	return -1
+}
+
+// indexSpan sizes a per-server array for states whose Index values may
+// be sparse (one past the largest index present).
+func indexSpan(states []ServerState) int {
+	n := 0
+	for _, s := range states {
+		if s.Index >= n {
+			n = s.Index + 1
+		}
+	}
+	return n
 }
 
 // paEntry is one headroom-heap candidate.

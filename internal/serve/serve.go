@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"mamut/internal/core"
@@ -95,6 +96,43 @@ type Config struct {
 	// horizons feasible — and Result.Sessions is nil. Retention changes
 	// no other result field.
 	RetainSessions bool
+	// EpochSec is the control-epoch interval driving the elasticity
+	// features below (rebalancing, autoscaling, scheduled drains).
+	// DefaultEpochSec when 0 and any of them is enabled; ignored — no
+	// epochs run — otherwise. Epochs interleave with the arrival stream
+	// on the one merged clock (an epoch due at an arrival's instant runs
+	// before the arrival) and continue to the workload horizon, so every
+	// elasticity decision lands at a deterministic point of the event
+	// order and results stay bit-identical for any Workers count and
+	// both dispatchers.
+	EpochSec float64
+	// Rebalance enables the built-in power-hotspot rebalancer (see
+	// RebalancerPowerHotspot): each epoch it live-migrates sessions away
+	// from servers whose estimated package power exceeds their power
+	// budget. Elasticity requires migratable sessions, so the MonoAgent
+	// approach is rejected.
+	Rebalance bool
+	// RebalancerFactory overrides Rebalance with a custom Rebalancer
+	// constructor (a fresh instance is requested per run). The
+	// implementation must be deterministic — plan only from the fleet
+	// states it is handed.
+	RebalancerFactory func() Rebalancer
+	// MigrationStallSec is the stall each live migration charges the
+	// moved session: its in-flight frame is delayed this many real
+	// seconds, counting against throughput — and therefore the SLO —
+	// like any slow frame. DefaultMigrationStallSec when 0 and an
+	// elasticity feature is enabled.
+	MigrationStallSec float64
+	// Autoscale enables target-utilization fleet autoscaling on the
+	// epoch schedule: scale-out adds servers when utilization crosses
+	// the high watermark, scale-in drains (migrate-then-decommission)
+	// the highest-index server when it falls below the low one.
+	Autoscale AutoscaleConfig
+	// Drain schedules explicit server decommissions: at the first epoch
+	// at or after each event's AtSec the server stops admitting, its
+	// sessions are live-migrated off, and it leaves the fleet once
+	// empty.
+	Drain []DrainEvent
 	// Progress observes completed per-server simulations.
 	Progress experiments.ProgressFunc
 }
@@ -260,6 +298,16 @@ type Result struct {
 	// Windowed reports time-decayed views of SLO attainment, rejection
 	// and utilization — the service "lately" rather than on average.
 	Windowed WindowedStats
+	// Migrations counts live session migrations (evacuations off
+	// draining servers plus rebalancer moves); ServersAdded and
+	// ServersRemoved count fleet topology changes; PeakServers is the
+	// largest in-service fleet observed. With no elasticity feature
+	// enabled, the counters are zero and PeakServers is the configured
+	// fleet size.
+	Migrations     int
+	ServersAdded   int
+	ServersRemoved int
+	PeakServers    int
 	// Knowledge is the run's final knowledge store (imported snapshot
 	// plus this run's contributions) when Config.KnowledgeReuse was on,
 	// nil otherwise. Export it for a later run's Config.Knowledge.
@@ -291,6 +339,31 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Dispatch == "" {
 		c.Dispatch = DispatchIndexed
+	}
+	if c.Elastic() {
+		if c.EpochSec == 0 {
+			c.EpochSec = DefaultEpochSec
+		}
+		if c.MigrationStallSec == 0 {
+			c.MigrationStallSec = DefaultMigrationStallSec
+		}
+		if c.Autoscale.Enabled {
+			if c.Autoscale.MinServers == 0 {
+				c.Autoscale.MinServers = 1
+			}
+			if c.Autoscale.MaxServers == 0 {
+				c.Autoscale.MaxServers = 4 * c.Servers
+			}
+			if c.Autoscale.TargetUtilPct == 0 {
+				c.Autoscale.TargetUtilPct = 70
+			}
+			if c.Autoscale.HighPct == 0 {
+				c.Autoscale.HighPct = 85
+			}
+			if c.Autoscale.LowPct == 0 {
+				c.Autoscale.LowPct = 40
+			}
+		}
 	}
 	c.Workload = c.Workload.withDefaults()
 	return c
@@ -348,6 +421,41 @@ func (c Config) Validate() error {
 	}
 	if c.Knowledge != nil && !c.KnowledgeReuse {
 		return fmt.Errorf("serve: imported knowledge requires KnowledgeReuse")
+	}
+	if c.Elastic() {
+		if c.Approach == experiments.MonoAgent {
+			// Live migration needs the controller's full decision state;
+			// the mono-agent baseline does not expose it.
+			return fmt.Errorf("serve: elasticity (rebalance/autoscale/drain) requires migratable sessions; %s sessions are not migratable", experiments.MonoAgent)
+		}
+		if c.EpochSec < 0 {
+			return fmt.Errorf("serve: negative epoch interval %g", c.EpochSec)
+		}
+		if c.MigrationStallSec < 0 {
+			return fmt.Errorf("serve: negative migration stall %g", c.MigrationStallSec)
+		}
+		for _, ev := range c.Drain {
+			if ev.AtSec < 0 {
+				return fmt.Errorf("serve: drain event at negative time %g", ev.AtSec)
+			}
+			if ev.Server < 0 || ev.Server >= c.Servers {
+				return fmt.Errorf("serve: drain event for server %d outside initial fleet 0..%d", ev.Server, c.Servers-1)
+			}
+		}
+		if as := c.Autoscale; as.Enabled {
+			if as.MinServers < 1 {
+				return fmt.Errorf("serve: autoscale min %d < 1", as.MinServers)
+			}
+			if as.MinServers > c.Servers || as.MaxServers < c.Servers {
+				return fmt.Errorf("serve: initial fleet %d outside autoscale bounds [%d,%d]", c.Servers, as.MinServers, as.MaxServers)
+			}
+			if as.TargetUtilPct <= 0 || as.TargetUtilPct > 100 {
+				return fmt.Errorf("serve: autoscale target utilization %g%% outside (0,100]", as.TargetUtilPct)
+			}
+			if as.LowPct < 0 || as.LowPct >= as.HighPct || as.HighPct > 100 {
+				return fmt.Errorf("serve: autoscale watermarks low=%g high=%g invalid (need 0 <= low < high <= 100)", as.LowPct, as.HighPct)
+			}
+		}
 	}
 	return nil
 }
@@ -407,12 +515,22 @@ type fleetServer struct {
 	// engines independent and the output identical for any worker count.
 	harvest  map[int]harvestEntry
 	draining bool
+
+	// decom marks the server decommissioning (no admissions; evacuated by
+	// migration at epochs); retired marks it emptied and out of the fleet.
+	// Retired servers keep their accumulated results and their index — it
+	// is never reused.
+	decom   bool
+	retired bool
 }
 
-// residentRec is the arrival-side half of a future departRec.
+// residentRec is the arrival-side half of a future departRec. seq is the
+// catalog sequence the session plays — needed to rebuild its content
+// process shell if the session is live-migrated.
 type residentRec struct {
 	reqID    int
 	res      video.Resolution
+	seq      string
 	arriveAt float64
 	measured bool
 }
@@ -443,16 +561,21 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 	}
 	// Session rngs are xrand (splitmix64) streams: seeding a stdlib rand
 	// source costs a ~600-word table initialisation, which profiled as
-	// the single largest per-admission cost at fleet scale.
-	src, err := video.NewGenerator(seq, xrand.New(req.SourceSeed))
+	// the single largest per-admission cost at fleet scale. The stateful
+	// generator and the explicit source construction draw the identical
+	// streams the plain xrand.New forms would — they additionally expose
+	// the rng state live migration carries across servers.
+	src, err := video.NewStatefulGenerator(seq, req.SourceSeed)
 	if err != nil {
 		return err
 	}
 	initial := experiments.InitialSettings(req.Res)
-	ctrl, err := factory(req.Res, initial, xrand.New(req.ControllerSeed))
+	ctrlSrc := xrand.NewSource(req.ControllerSeed)
+	ctrl, err := factory(req.Res, initial, rand.New(ctrlSrc))
 	if err != nil {
 		return err
 	}
+	ctrl = wrapStateful(ctrl, ctrlSrc)
 	id, err := fs.eng.AddSession(transcode.SessionConfig{
 		Source:        src,
 		Controller:    ctrl,
@@ -472,6 +595,7 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 	fs.resident[id] = residentRec{
 		reqID:    req.ID,
 		res:      req.Res,
+		seq:      req.Sequence,
 		arriveAt: req.ArriveAtSec,
 		measured: req.ArriveAtSec >= cfg.WarmupSec,
 	}
@@ -480,7 +604,7 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		fs.peak = fs.cur
 	}
 	if fs.harvest != nil {
-		if mc, ok := ctrl.(*core.Controller); ok {
+		if mc := mamutController(ctrl); mc != nil {
 			fs.harvest[id] = harvestEntry{reqID: req.ID, res: req.Res, ctrl: mc, seeded: seeded}
 		}
 	}
@@ -560,9 +684,36 @@ func Run(cfg Config) (*Result, error) {
 	if err := d.init(len(arrivals)); err != nil {
 		return nil, err
 	}
-	for _, req := range arrivals {
-		if err := d.place(req); err != nil {
-			return nil, err
+	if d.epochSec > 0 {
+		// Elastic run: interleave the control epochs with the arrivals on
+		// the one merged clock. An epoch due exactly at an arrival's
+		// instant runs before the arrival (drain/scale decisions take
+		// effect for it), and epochs continue past the last arrival to
+		// the horizon so a trailing lull still scales the fleet in.
+		horizon := cfg.Workload.DurationSec
+		k := 1
+		for _, req := range arrivals {
+			for t := float64(k) * d.epochSec; t <= req.ArriveAtSec && t <= horizon; t = float64(k) * d.epochSec {
+				if err := d.epoch(t); err != nil {
+					return nil, err
+				}
+				k++
+			}
+			if err := d.place(req); err != nil {
+				return nil, err
+			}
+		}
+		for t := float64(k) * d.epochSec; t <= horizon; t = float64(k) * d.epochSec {
+			if err := d.epoch(t); err != nil {
+				return nil, err
+			}
+			k++
+		}
+	} else {
+		for _, req := range arrivals {
+			if err := d.place(req); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return d.finish()
@@ -600,6 +751,21 @@ type dispatcher struct {
 	pendingSeed *core.Snapshot
 	pending     []harvestEntry
 	seeded      int
+
+	// Elasticity (epochSec > 0 only): the rebalancer, the scheduled
+	// decommissions still to apply, the in-service (non-retired) server
+	// count with its peak, the event counters, and a scratch slice for
+	// the live-states view scan-mode policies place from once the fleet
+	// has retired servers.
+	reb        Rebalancer
+	epochSec   float64
+	drainQueue []DrainEvent
+	liveSrv    int
+	peakSrv    int
+	migrations int
+	addedSrv   int
+	removedSrv int
+	scratch    []ServerState
 
 	// Streaming aggregation state. Sessions fold in at their departure
 	// events (pendingStats, sorted by arrival ID per fold batch); the
@@ -680,6 +846,25 @@ func (d *dispatcher) init(arrivals int) error {
 	d.sloFPS = cfg.SLOFPSFactor * cfg.Workload.TargetFPS
 	d.admitCount = make([]int, cfg.Servers)
 	d.busy = make([]float64, cfg.Servers)
+	d.liveSrv = cfg.Servers
+	d.peakSrv = cfg.Servers
+	if cfg.Elastic() {
+		d.epochSec = cfg.EpochSec
+		if cfg.RebalancerFactory != nil {
+			if d.reb = cfg.RebalancerFactory(); d.reb == nil {
+				return fmt.Errorf("serve: rebalancer factory returned nil")
+			}
+		} else if cfg.Rebalance {
+			d.reb = powerHotspot{}
+		}
+		d.drainQueue = append([]DrainEvent(nil), cfg.Drain...)
+		sort.Slice(d.drainQueue, func(i, j int) bool {
+			if d.drainQueue[i].AtSec != d.drainQueue[j].AtSec {
+				return d.drainQueue[i].AtSec < d.drainQueue[j].AtSec
+			}
+			return d.drainQueue[i].Server < d.drainQueue[j].Server
+		})
+	}
 	// Distribution sketches: FPS over [0, 2x target) — sessions regulate
 	// around the target, so the range brackets it symmetrically — and
 	// residency over [0, 8x mean session length), which covers the p99 of
@@ -739,19 +924,23 @@ func (d *dispatcher) place(req SessionRequest) error {
 		}
 	}
 	d.foldStats(req.ArriveAtSec)
-	var choice int
-	if d.idx != nil {
-		choice = d.idx.Place(req)
-	} else {
-		d.refreshScanStates(req)
-		choice = d.pol.Place(req, d.states)
+	choice := -1
+	if d.liveSrv > 0 {
+		// With the whole fleet decommissioned (drain events can do that)
+		// there is nothing to consult — and the round-robin modulus would
+		// see an empty live view.
+		if d.idx != nil {
+			choice = d.idx.Place(req)
+		} else {
+			choice = d.pol.Place(req, d.refreshScanStates(req))
+		}
 	}
-	if choice < -1 || choice >= d.cfg.Servers {
+	if choice < -1 || choice >= len(d.states) {
 		// A deliberate reject is -1 and every other return must be a
 		// real server index: folding garbage into the rejection count
 		// would silently corrupt RejectionPct for buggy policies.
 		return fmt.Errorf("serve: policy %q violated the placement contract: returned %d for arrival %d (valid: -1 to reject, 0..%d to place)",
-			d.pol.Name(), choice, req.ID, d.cfg.Servers-1)
+			d.pol.Name(), choice, req.ID, len(d.states)-1)
 	}
 	d.offered++
 	measured := req.ArriveAtSec >= d.cfg.WarmupSec
@@ -820,8 +1009,14 @@ func (d *dispatcher) sampleWindows(t float64, rejected bool) {
 	} else {
 		d.rejWin.Add(t, 0)
 	}
-	capacity := float64(d.cfg.Servers * d.cfg.MaxSessionsPerServer)
-	d.utilWin.Add(t, 100*float64(d.active)/capacity)
+	capacity := float64(d.liveSrv * d.cfg.MaxSessionsPerServer)
+	if capacity > 0 {
+		d.utilWin.Add(t, 100*float64(d.active)/capacity)
+	} else {
+		// The whole fleet is decommissioned: no capacity reads as fully
+		// utilized, not as idle.
+		d.utilWin.Add(t, 100)
+	}
 }
 
 // foldStats folds every departure surfaced since the last fold into the
@@ -940,36 +1135,55 @@ func (d *dispatcher) refreshState(i int) {
 	s.HRActive = fs.hr
 	s.LRActive = fs.lr
 	s.EstPowerW = d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR]
+	s.Draining = fs.decom
 	if d.idx != nil {
 		d.idx.Update(*s)
 	}
 }
 
-// refreshScanStates prepares the full state slice for a policy that
-// scans it. In scan mode the slice is rebuilt from the resident counts
-// per arrival (the reference behaviour); in indexed mode occupancy and
+// refreshScanStates prepares the state slice a scanning policy places
+// from. In scan mode the slice is rebuilt from the resident counts per
+// arrival (the reference behaviour); in indexed mode occupancy and
 // power are already current and only the arrival's class-specific
-// EstArrivalW needs stamping.
-func (d *dispatcher) refreshScanStates(req SessionRequest) {
+// EstArrivalW needs stamping. Once the fleet has retired servers the
+// policy receives the in-service view only (matching what the fleet
+// indexes are rebuilt from), so e.g. round-robin's modulus cycles over
+// the same servers on both dispatch paths.
+func (d *dispatcher) refreshScanStates(req SessionRequest) []ServerState {
 	aw := d.estW[req.Res]
 	if d.indexed {
 		for i := range d.states {
 			d.states[i].EstArrivalW = aw
 		}
-		return
-	}
-	for i, fs := range d.servers {
-		d.states[i] = ServerState{
-			Index:        i,
-			Active:       fs.hr + fs.lr,
-			HRActive:     fs.hr,
-			LRActive:     fs.lr,
-			MaxSessions:  d.cfg.MaxSessionsPerServer,
-			EstPowerW:    d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR],
-			EstArrivalW:  aw,
-			PowerBudgetW: d.budget,
+	} else {
+		for i, fs := range d.servers {
+			if fs.retired {
+				continue
+			}
+			d.states[i] = ServerState{
+				Index:        i,
+				Active:       fs.hr + fs.lr,
+				HRActive:     fs.hr,
+				LRActive:     fs.lr,
+				MaxSessions:  d.cfg.MaxSessionsPerServer,
+				EstPowerW:    d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR],
+				EstArrivalW:  aw,
+				Draining:     fs.decom,
+				PowerBudgetW: d.budget,
+			}
 		}
 	}
+	if d.removedSrv == 0 {
+		return d.states
+	}
+	live := d.scratch[:0]
+	for i, fs := range d.servers {
+		if !fs.retired {
+			live = append(live, d.states[i])
+		}
+	}
+	d.scratch = live
+	return live
 }
 
 // createEngine builds server i's engine on first admission and installs
@@ -1171,7 +1385,11 @@ func (d *dispatcher) buildResult() (*Result, error) {
 		res.FleetAvgPowerW += sr.AvgPowerW
 		res.Servers = append(res.Servers, sr)
 	}
-	res.FleetAvgPowerW /= float64(cfg.Servers)
+	res.FleetAvgPowerW /= float64(len(d.servers))
+	res.Migrations = d.migrations
+	res.ServersAdded = d.addedSrv
+	res.ServersRemoved = d.removedSrv
+	res.PeakServers = d.peakSrv
 	if d.store != nil {
 		res.KnowledgeContributions = d.store.Contributions(video.HR) + d.store.Contributions(video.LR)
 		res.KnowledgeSeeded = d.seeded

@@ -32,6 +32,25 @@
 // per-arrival outcome log is opt-in via Config.RetainSessions and
 // changes no other result field.
 //
+// The fleet is elastic (see elastic.go). Sessions are migratable: the
+// transcode package's ExtractSession/InjectSession freeze a live session
+// mid-frame — learner tables, rng cursors, energy accumulators and all —
+// and resume it on another engine, bit-identically for a same-server
+// round trip. On top of that primitive the dispatcher runs an epoch
+// schedule (Config.EpochSec) that interleaves with arrivals and applies,
+// in a fixed order: scheduled drains (Config.Drain — a draining server
+// admits nothing, its sessions are evacuated and it is decommissioned
+// once empty), autoscaling (Config.Autoscale — target-utilization
+// watermarks add servers mid-run or drain the highest-index one), and a
+// pluggable Rebalancer (Config.Rebalance / RebalancerFactory — the
+// built-in planner migrates sessions away from power-hotspot servers).
+// Every migration charges Config.MigrationStallSec to the moved
+// session's in-flight frame. Epoch decisions run in the sequential
+// phase and pick sessions in arrival-ID order, so elastic runs stay
+// byte-identical across worker counts and both dispatchers; with every
+// elastic feature off the dispatcher is byte-identical to the
+// fixed-fleet implementation it grew from (CI-pinned goldens).
+//
 // Everything is deterministic for a fixed seed: the arrival process, the
 // placement decisions and every per-server simulation derive their
 // randomness from experiments.SubSeed. The interleaved phase is

@@ -11,7 +11,10 @@
 // and thousands of simulated seconds cost milliseconds of wall time.
 package transcode
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Settings are the three knobs MAMUT manages per session (paper SIII-A).
 type Settings struct {
@@ -112,5 +115,22 @@ func (s *Static) OnFrameStart(FrameStart) Settings { return s.S }
 
 // OnFrameDone implements Controller.
 func (s *Static) OnFrameDone(Observation) {}
+
+// ControllerState implements StatefulController (migrate.go): a static
+// controller's whole state is its settings.
+func (s *Static) ControllerState() ([]byte, error) { return json.Marshal(s.S) }
+
+// RestoreControllerState implements StatefulController.
+func (s *Static) RestoreControllerState(data []byte) error {
+	var set Settings
+	if err := json.Unmarshal(data, &set); err != nil {
+		return fmt.Errorf("transcode: restore static controller: %w", err)
+	}
+	if err := set.Validate(); err != nil {
+		return fmt.Errorf("transcode: restore static controller: %w", err)
+	}
+	s.S = set
+	return nil
+}
 
 var _ Controller = (*Static)(nil)

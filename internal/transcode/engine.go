@@ -51,6 +51,7 @@ type session struct {
 	cfg      SessionConfig
 	id       int
 	enc      *hevc.Encoder
+	encSrc   *xrand.Source // the encoder rng's source, for migration snapshots
 	settings Settings
 
 	frameIdx   int
@@ -185,6 +186,12 @@ type Engine struct {
 	events      int
 	finished    bool // RunUntilAll completed; the live lifecycle is closed
 
+	// Migration state (see migrate.go). stateGen counts engine state
+	// mutations; the extraction stash is valid only while it is unchanged.
+	stateGen  uint64
+	stash     *extractStash
+	extracted map[int]bool // ids removed by ExtractSession (vs discarded)
+
 	batch []*session // scratch for completion batches
 }
 
@@ -285,7 +292,10 @@ func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
 	if cfg.Preset != nil {
 		preset = *cfg.Preset
 	}
-	enc, err := hevc.NewEncoder(cfg.Source.Res(), preset, e.model, xrand.New(e.rng.Int63()))
+	// The encoder rng is built over an owned xrand.Source (same stream as
+	// xrand.New) so ExtractSession can freeze the noise stream mid-run.
+	encSrc := xrand.NewSource(e.rng.Int63())
+	enc, err := hevc.NewEncoder(cfg.Source.Res(), preset, e.model, rand.New(encSrc))
 	if err != nil {
 		return 0, err
 	}
@@ -294,11 +304,13 @@ func (e *Engine) AddSession(cfg SessionConfig) (int, error) {
 		cfg:         cfg,
 		id:          id,
 		enc:         enc,
+		encSrc:      encSrc,
 		settings:    cfg.Initial,
 		firstAction: true,
 	})
 	e.arrivals.push(event{key: cfg.StartAtSec, id: id})
 	e.totalBudget += cfg.FrameBudget
+	e.stateGen++
 	return id, nil
 }
 
@@ -450,6 +462,7 @@ func (e *Engine) advance(limit float64, untilAll bool) error {
 		}
 
 		e.events++
+		e.stateGen++
 		if e.events > maxEventsPerFrame*(e.framesDone+e.totalBudget+len(e.sessions)+1) {
 			return fmt.Errorf("transcode: event budget exhausted (%d events for %d frames)", e.events, e.framesDone)
 		}

@@ -55,6 +55,43 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// removeByID deletes the pending event of one session and returns it.
+// Session migration is the only caller: the scan is O(n) but runs once
+// per extraction, never on the per-frame path. Heap pop order depends
+// only on the (key, id) total order, not on the array layout, so a
+// removal (or a removal followed by re-pushing the same event) leaves
+// the future event sequence unchanged.
+func (h *eventHeap) removeByID(id int) (event, bool) {
+	for i := range *h {
+		if (*h)[i].id != id {
+			continue
+		}
+		ev := (*h)[i]
+		last := len(*h) - 1
+		(*h)[i] = (*h)[last]
+		*h = (*h)[:last]
+		if i < last {
+			h.fix(i)
+		}
+		return ev, true
+	}
+	return event{}, false
+}
+
+// fix restores the heap property around index i after its element was
+// replaced: sift up if it beats its parent, otherwise sift down.
+func (h *eventHeap) fix(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+	h.siftDown(i)
+}
+
 func (h eventHeap) siftDown(i int) {
 	n := len(h)
 	for {

@@ -1,0 +1,585 @@
+package transcode
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mamut/internal/hevc"
+	"mamut/internal/platform"
+	"mamut/internal/video"
+	"mamut/internal/xrand"
+)
+
+// Live session migration: ExtractSession freezes one session into a
+// serializable SessionState; InjectSession resumes it mid-stream on
+// another engine (or the same one). The state is complete — frame cursor,
+// playlist/content process, per-session energy and duration accumulators,
+// every rng stream, the controller's decision state, and the in-flight
+// frame's completion anchor — so a migrated session continues as the same
+// logical stream, deterministically.
+//
+// Extract immediately followed by Inject on the same engine is bit-exact
+// to never migrating: extraction stashes the engine anchors it had to
+// disturb (the lazy-settlement segment, the LoadAccount aggregates, the
+// heap event), and re-injection of the unmodified state restores them
+// verbatim. Cross-engine injection pays the honest settlement instead:
+// the destination's accounting is exact for its own timeline, but a
+// migrated fleet is a different physical scenario than an unmigrated one,
+// so its floats legitimately differ.
+
+// StatefulController is a Controller whose decision state can be frozen
+// and restored, which is what makes its session migratable. The payload
+// is opaque to the engine; RestoreControllerState is called on a
+// freshly built controller of the same configuration.
+type StatefulController interface {
+	Controller
+	// ControllerState freezes the complete decision state.
+	ControllerState() ([]byte, error)
+	// RestoreControllerState resumes from a ControllerState payload.
+	RestoreControllerState(data []byte) error
+}
+
+// sessionFormatVersion is the current SessionState payload format.
+// Decoders accept this version and older; newer payloads error cleanly.
+const sessionFormatVersion = 1
+
+// SessionState is a frozen, serializable session: everything InjectSession
+// needs to resume the stream on another engine. All floats are finite, so
+// the state round-trips bit-identically through encoding/json.
+type SessionState struct {
+	Version int `json:"format_version"`
+	// ID is the session's id on the engine it was extracted from.
+	ID int `json:"id"`
+	// Res is the stream's resolution class.
+	Res video.Resolution `json:"res"`
+
+	// Session parameters (the SessionConfig minus source and controller,
+	// which travel as opaque state payloads below).
+	Initial       Settings     `json:"initial"`
+	Preset        *hevc.Preset `json:"preset,omitempty"`
+	BandwidthMbps float64      `json:"bandwidth_mbps"`
+	TargetFPS     float64      `json:"target_fps"`
+	FrameBudget   int          `json:"frame_budget"`
+	StartAtSec    float64      `json:"start_at_sec"`
+	CollectTrace  bool         `json:"collect_trace,omitempty"`
+
+	// Stream cursor and in-flight frame. Running is false only for a
+	// session extracted before its scheduled arrival; CompletionKey and
+	// VNow anchor the in-flight frame's pending completion on the source
+	// engine's virtual clock.
+	Running       bool        `json:"running"`
+	Settings      Settings    `json:"settings"`
+	FrameIdx      int         `json:"frame_idx"`
+	FrameStart    float64     `json:"frame_start"`
+	CurFrame      video.Frame `json:"cur_frame"`
+	CurPSNR       float64     `json:"cur_psnr"`
+	CurBits       float64     `json:"cur_bits"`
+	CompletionKey float64     `json:"completion_key"`
+	VNow          float64     `json:"vnow"`
+
+	// Accumulators.
+	Durations   [fpsWindow]float64 `json:"durations"`
+	DynEnergyJ  float64            `json:"dyn_energy_j"`
+	Frames      int                `json:"frames"`
+	Violations  int                `json:"violations"`
+	SumFPS      float64            `json:"sum_fps"`
+	SumPSNR     float64            `json:"sum_psnr"`
+	SumBitrate  float64            `json:"sum_bitrate"`
+	SumThreads  float64            `json:"sum_threads"`
+	SumFreq     float64            `json:"sum_freq"`
+	SumQP       float64            `json:"sum_qp"`
+	FirstAction bool               `json:"first_action"`
+	Trace       []Observation      `json:"trace,omitempty"`
+
+	// Opaque sub-states: the content process (video.StatefulSource), the
+	// controller (StatefulController) and the encoder noise stream.
+	Source     json.RawMessage `json:"source"`
+	Controller json.RawMessage `json:"controller"`
+	EncoderRNG uint64          `json:"encoder_rng"`
+
+	// StallSec is the migration cost: extra real-time the in-flight frame
+	// is stalled at injection, modelling state transfer and stream
+	// re-attachment. The migration coordinator sets it before injecting;
+	// the lengthened frame duration counts against the SLO like any slow
+	// frame. Extraction always leaves it zero.
+	StallSec float64 `json:"stall_sec,omitempty"`
+}
+
+// Validate checks the state's internal consistency. It is called by
+// InjectSession and DecodeSessionState, so a corrupted or hand-rolled
+// payload fails loudly instead of desynchronising an engine.
+func (st *SessionState) Validate() error {
+	if st.Version < 0 || st.Version > sessionFormatVersion {
+		return fmt.Errorf("transcode: session state: format version %d not supported (current %d)", st.Version, sessionFormatVersion)
+	}
+	if st.Res != video.HR && st.Res != video.LR {
+		return fmt.Errorf("transcode: session state: unknown resolution %d", int(st.Res))
+	}
+	if err := st.Initial.Validate(); err != nil {
+		return fmt.Errorf("transcode: session state: initial settings: %w", err)
+	}
+	if err := st.Settings.Validate(); err != nil {
+		return fmt.Errorf("transcode: session state: settings: %w", err)
+	}
+	if st.FrameBudget < 1 {
+		return fmt.Errorf("transcode: session state: frame budget %d < 1", st.FrameBudget)
+	}
+	if st.Frames < 0 || st.Frames >= st.FrameBudget {
+		return fmt.Errorf("transcode: session state: %d frames done outside [0,%d)", st.Frames, st.FrameBudget)
+	}
+	if st.Violations < 0 || st.Violations > st.Frames {
+		return fmt.Errorf("transcode: session state: %d violations outside [0,%d]", st.Violations, st.Frames)
+	}
+	if st.FrameIdx < st.Frames {
+		return fmt.Errorf("transcode: session state: frame index %d below %d frames done", st.FrameIdx, st.Frames)
+	}
+	for _, v := range []struct {
+		name string
+		v    float64
+		min  float64
+	}{
+		{"bandwidth", st.BandwidthMbps, 0},
+		{"target fps", st.TargetFPS, math.SmallestNonzeroFloat64},
+		{"start time", st.StartAtSec, 0},
+		{"frame start", st.FrameStart, 0},
+		{"current psnr", st.CurPSNR, 0},
+		{"current bits", st.CurBits, 0},
+		{"completion key", st.CompletionKey, 0},
+		{"vnow", st.VNow, 0},
+		{"dynamic energy", st.DynEnergyJ, 0},
+		{"stall", st.StallSec, 0},
+	} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) || v.v < v.min {
+			return fmt.Errorf("transcode: session state: %s %g invalid", v.name, v.v)
+		}
+	}
+	for _, v := range []float64{st.SumFPS, st.SumPSNR, st.SumBitrate, st.SumThreads, st.SumFreq, st.SumQP} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("transcode: session state: non-finite accumulator %g", v)
+		}
+	}
+	n := st.Frames
+	if n > fpsWindow {
+		n = fpsWindow
+	}
+	for i := 0; i < n; i++ {
+		if d := st.Durations[i]; math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+			return fmt.Errorf("transcode: session state: frame duration %g invalid", d)
+		}
+	}
+	if st.Running {
+		if st.CompletionKey < st.VNow {
+			return fmt.Errorf("transcode: session state: completion key %g before virtual clock %g", st.CompletionKey, st.VNow)
+		}
+	} else if st.Frames != 0 || st.FrameIdx != 0 {
+		return fmt.Errorf("transcode: session state: not running but %d frames at index %d", st.Frames, st.FrameIdx)
+	}
+	if len(st.Source) == 0 {
+		return fmt.Errorf("transcode: session state: missing source state")
+	}
+	if len(st.Controller) == 0 {
+		return fmt.Errorf("transcode: session state: missing controller state")
+	}
+	return nil
+}
+
+// sessionEnvelope is the durable encoding of a SessionState: the payload
+// plus a checksum, mirroring the knowledge artifact format, so a
+// truncated or bit-flipped transfer is rejected instead of resuming a
+// corrupted stream.
+type sessionEnvelope struct {
+	Version int             `json:"format_version"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// EncodeSessionState serialises a SessionState with an integrity checksum
+// for transfer between processes. DecodeSessionState is the inverse.
+func EncodeSessionState(st *SessionState) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("transcode: encode session state: nil state")
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("transcode: encode session state: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(sessionEnvelope{
+		Version: sessionFormatVersion,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+}
+
+// DecodeSessionState parses an EncodeSessionState artifact, verifying the
+// checksum and validating the state.
+func DecodeSessionState(data []byte) (*SessionState, error) {
+	var env sessionEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("transcode: decode session state: %w", err)
+	}
+	if env.Version < 0 || env.Version > sessionFormatVersion {
+		return nil, fmt.Errorf("transcode: decode session state: format version %d not supported (current %d)", env.Version, sessionFormatVersion)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+		return nil, fmt.Errorf("transcode: decode session state: payload checksum mismatch (artifact corrupted or tampered with): have %s, recorded %s", got, env.SHA256)
+	}
+	st := new(SessionState)
+	if err := json.Unmarshal(env.Payload, st); err != nil {
+		return nil, fmt.Errorf("transcode: decode session state: %w", err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// extractStash holds everything ExtractSession disturbed, so an immediate
+// re-injection of the unmodified state on the same engine can restore the
+// exact pre-extraction floats (settling a segment in two steps is not
+// bitwise the same as settling it in one; removing and re-adding a load
+// does not restore the LoadAccount's running sums exactly).
+type extractStash struct {
+	gen      uint64 // e.stateGen at extraction; any later mutation invalidates
+	id       int
+	payload  []byte // canonical JSON of the state handed out
+	sess     *session
+	sessCopy session
+	ev       event // the removed completion (running) or arrival event
+	running  bool
+
+	vnow, segStart, energy float64
+	acct                   platform.LoadAccount
+	thermal                platform.ThermalState
+	hadThermal             bool
+	totalBudget            int
+}
+
+// ExtractSession removes one live session from the engine and returns its
+// frozen state. The session's resources are released (its load leaves the
+// contention pool, its pending event is unscheduled) and its id is
+// retired — ids are never reused, so event determinism is unaffected. The
+// session's source and controller must support state snapshots
+// (video.StatefulSource, StatefulController).
+//
+// Extraction settles the running segment first: the departing load
+// contributed power and contention up to this instant, and the remaining
+// sessions' accounting must reflect that.
+func (e *Engine) ExtractSession(id int) (*SessionState, error) {
+	if e.finished {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): sessions are frozen mid-frame in the terminal state and cannot be exported: %w", id, errFinished)
+	}
+	if id < 0 || id >= len(e.sessions) {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): no such session", id)
+	}
+	s := e.sessions[id]
+	if s == nil {
+		if e.extracted[id] {
+			return nil, fmt.Errorf("transcode: ExtractSession(%d): session already extracted", id)
+		}
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): session departed and was discarded", id)
+	}
+	if s.done {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): session already departed", id)
+	}
+	src, ok := s.cfg.Source.(video.StatefulSource)
+	if !ok {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): video source %T does not support state snapshots", id, s.cfg.Source)
+	}
+	ctrl, ok := s.cfg.Controller.(StatefulController)
+	if !ok {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): controller %q does not support migration", id, s.cfg.Controller.Name())
+	}
+	srcState, err := src.SourceState()
+	if err != nil {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): %w", id, err)
+	}
+	ctrlState, err := ctrl.ControllerState()
+	if err != nil {
+		return nil, fmt.Errorf("transcode: ExtractSession(%d): %w", id, err)
+	}
+
+	stash := &extractStash{
+		id: id, sess: s, sessCopy: *s, running: s.running,
+		vnow: e.vnow, segStart: e.segStart, energy: e.energy,
+		acct: *e.acct, totalBudget: e.totalBudget,
+	}
+	if e.thermal != nil {
+		stash.thermal = *e.thermal
+		stash.hadThermal = true
+	}
+
+	st := &SessionState{
+		Version:       sessionFormatVersion,
+		ID:            id,
+		Res:           s.cfg.Source.Res(),
+		Initial:       s.cfg.Initial,
+		BandwidthMbps: s.cfg.BandwidthMbps,
+		TargetFPS:     s.cfg.TargetFPS,
+		FrameBudget:   s.cfg.FrameBudget,
+		StartAtSec:    s.cfg.StartAtSec,
+		CollectTrace:  s.cfg.CollectTrace,
+		Settings:      s.settings,
+		FrameIdx:      s.frameIdx,
+		CurFrame:      s.curFrame,
+		CurPSNR:       s.curPSNR,
+		CurBits:       s.curBits,
+		Durations:     s.durations,
+		Frames:        s.frames,
+		Violations:    s.violations,
+		SumFPS:        s.sumFPS,
+		SumPSNR:       s.sumPSNR,
+		SumBitrate:    s.sumBitrate,
+		SumThreads:    s.sumThreads,
+		SumFreq:       s.sumFreq,
+		SumQP:         s.sumQP,
+		FirstAction:   s.firstAction,
+		Trace:         s.trace,
+		Source:        srcState,
+		Controller:    ctrlState,
+		EncoderRNG:    s.encSrc.State(),
+	}
+	if s.cfg.Preset != nil {
+		p := *s.cfg.Preset
+		st.Preset = &p
+	}
+
+	if s.running {
+		// Settle energy/thermal/virtual clock to now at the pre-removal
+		// rates, then settle the session's own dynamic-energy integral.
+		powerIdeal, speed := e.segRates()
+		e.settle(e.now, powerIdeal, speed)
+		s.dynEnergyJ += s.dynCoef * (e.vnow - s.vMark)
+		s.vMark = e.vnow
+		ev, ok := e.compl.removeByID(id)
+		if !ok {
+			// Unreachable: a running session always has a pending completion.
+			return nil, fmt.Errorf("transcode: ExtractSession(%d): no pending completion", id)
+		}
+		stash.ev = ev
+		e.acct.Remove(s.load)
+		st.Running = true
+		st.CompletionKey = ev.key
+		st.VNow = e.vnow
+		st.FrameStart = s.frameStart
+	} else {
+		ev, ok := e.arrivals.removeByID(id)
+		if !ok {
+			return nil, fmt.Errorf("transcode: ExtractSession(%d): no pending arrival", id)
+		}
+		stash.ev = ev
+		st.StartAtSec = ev.key
+	}
+	st.DynEnergyJ = s.dynEnergyJ
+
+	e.totalBudget -= s.cfg.FrameBudget - s.frames
+	e.sessions[id] = nil
+	if e.extracted == nil {
+		e.extracted = make(map[int]bool)
+	}
+	e.extracted[id] = true
+	e.stateGen++
+
+	payload, err := json.Marshal(st)
+	if err != nil {
+		// Unreachable for the finite floats the engine produces; leave the
+		// stash valid so the caller can at least re-inject.
+		payload = nil
+	}
+	stash.gen = e.stateGen
+	stash.payload = payload
+	e.stash = stash
+	return st, nil
+}
+
+// InjectSession resumes an extracted session on this engine. src and ctrl
+// are freshly built counterparts of the originals (same sequence, same
+// controller configuration); their mid-stream state is restored from the
+// payload. The returned id is the session's id on this engine.
+//
+// When the state is injected back into the engine it was just extracted
+// from — nothing having happened in between and the state unmodified —
+// the engine restores its pre-extraction anchors verbatim, making the
+// round-trip bit-identical to never migrating. Otherwise the in-flight
+// frame's completion is re-anchored on this engine's virtual clock, plus
+// StallSec of migration stall converted at the current clock speed.
+func (e *Engine) InjectSession(src video.Source, ctrl Controller, st *SessionState) (int, error) {
+	if e.finished {
+		return 0, fmt.Errorf("transcode: InjectSession: %w", errFinished)
+	}
+	if st == nil {
+		return 0, fmt.Errorf("transcode: InjectSession: nil session state")
+	}
+	if err := st.Validate(); err != nil {
+		return 0, err
+	}
+	if e.stash != nil && e.stash.gen == e.stateGen && e.stash.id == st.ID && len(e.stash.payload) > 0 {
+		if incoming, err := json.Marshal(st); err == nil && bytes.Equal(incoming, e.stash.payload) {
+			e.undoExtract()
+			return st.ID, nil
+		}
+	}
+	if src == nil {
+		return 0, fmt.Errorf("transcode: InjectSession: nil video source")
+	}
+	if ctrl == nil {
+		return 0, fmt.Errorf("transcode: InjectSession: nil controller")
+	}
+	if src.Res() != st.Res {
+		return 0, fmt.Errorf("transcode: InjectSession: source is %s, state is %s", src.Res(), st.Res)
+	}
+	ssrc, ok := src.(video.StatefulSource)
+	if !ok {
+		return 0, fmt.Errorf("transcode: InjectSession: video source %T does not support state snapshots", src)
+	}
+	if err := ssrc.RestoreSourceState(st.Source); err != nil {
+		return 0, fmt.Errorf("transcode: InjectSession: %w", err)
+	}
+	sctrl, ok := ctrl.(StatefulController)
+	if !ok {
+		return 0, fmt.Errorf("transcode: InjectSession: controller %q does not support migration", ctrl.Name())
+	}
+	if err := sctrl.RestoreControllerState(st.Controller); err != nil {
+		return 0, fmt.Errorf("transcode: InjectSession: %w", err)
+	}
+
+	preset := hevc.PresetFor(st.Res)
+	if st.Preset != nil {
+		preset = *st.Preset
+	}
+	encSrc := xrand.NewSource(0)
+	encSrc.SetState(st.EncoderRNG)
+	enc, err := hevc.NewEncoder(st.Res, preset, e.model, rand.New(encSrc))
+	if err != nil {
+		return 0, fmt.Errorf("transcode: InjectSession: %w", err)
+	}
+
+	id := len(e.sessions)
+	s := &session{
+		cfg: SessionConfig{
+			Source:        src,
+			Controller:    ctrl,
+			Initial:       st.Initial,
+			BandwidthMbps: st.BandwidthMbps,
+			TargetFPS:     st.TargetFPS,
+			FrameBudget:   st.FrameBudget,
+			StartAtSec:    st.StartAtSec,
+			CollectTrace:  st.CollectTrace,
+		},
+		id:          id,
+		enc:         enc,
+		encSrc:      encSrc,
+		settings:    st.Settings,
+		frameIdx:    st.FrameIdx,
+		curFrame:    st.CurFrame,
+		curPSNR:     st.CurPSNR,
+		curBits:     st.CurBits,
+		durations:   st.Durations,
+		nDur:        st.Frames,
+		dynEnergyJ:  st.DynEnergyJ,
+		frames:      st.Frames,
+		violations:  st.Violations,
+		sumFPS:      st.SumFPS,
+		sumPSNR:     st.SumPSNR,
+		sumBitrate:  st.SumBitrate,
+		sumThreads:  st.SumThreads,
+		sumFreq:     st.SumFreq,
+		sumQP:       st.SumQP,
+		trace:       st.Trace,
+		firstAction: st.FirstAction,
+	}
+	if st.Preset != nil {
+		p := *st.Preset
+		s.cfg.Preset = &p
+	}
+
+	if !st.Running {
+		// Extracted before its arrival: schedule it like a fresh admission.
+		at := st.StartAtSec
+		if at < e.now {
+			at = e.now
+			s.cfg.StartAtSec = at
+		}
+		e.sessions = append(e.sessions, s)
+		e.arrivals.push(event{key: at, id: id})
+		e.totalBudget += st.FrameBudget - st.Frames
+		e.stateGen++
+		return id, nil
+	}
+
+	// Resume mid-frame. Settle the running segment at the pre-arrival
+	// rates first — the incoming load only contends from this instant —
+	// then anchor the in-flight completion on this engine's virtual clock:
+	// the frame still needs (CompletionKey - VNow) virtual seconds.
+	powerIdeal, speed := e.segRates()
+	e.settle(e.now, powerIdeal, speed)
+	load := platform.SessionLoad{
+		Threads: st.Settings.Threads,
+		FreqGHz: st.Settings.FreqGHz,
+		Speedup: enc.Speedup(st.Settings.Threads),
+	}
+	if err := e.acct.Add(load); err != nil {
+		return 0, fmt.Errorf("transcode: InjectSession: %w", err)
+	}
+	s.running = true
+	s.load = load
+	s.dynCoef = e.dynCoef(load)
+	s.vMark = e.vnow
+	s.frameStart = st.FrameStart
+	if s.frameStart > e.now {
+		s.frameStart = e.now
+	}
+	key := st.CompletionKey
+	if e.vnow != st.VNow {
+		key = e.vnow + (st.CompletionKey - st.VNow)
+	}
+	if st.StallSec > 0 {
+		// Convert the real-time stall to virtual seconds at the clock
+		// speed now in force (with the migrated load already resident).
+		_, speedNow := e.segRates()
+		key += st.StallSec * speedNow
+	}
+	e.sessions = append(e.sessions, s)
+	e.compl.push(event{key: key, id: id})
+	e.totalBudget += st.FrameBudget - st.Frames
+	e.stateGen++
+	return id, nil
+}
+
+// undoExtract reverts the engine to its exact pre-extraction state: the
+// fast path for a same-engine extract→inject round-trip with nothing in
+// between. Settlement anchors, account aggregates, the thermal state and
+// the removed heap event are restored verbatim, so every future float is
+// bit-identical to a run that never migrated. The clock (e.now) is left
+// alone: parking it settles nothing, so a park between extract and inject
+// is harmless.
+func (e *Engine) undoExtract() {
+	stash := e.stash
+	e.stash = nil
+	*stash.sess = stash.sessCopy
+	e.sessions[stash.id] = stash.sess
+	delete(e.extracted, stash.id)
+	e.vnow = stash.vnow
+	e.segStart = stash.segStart
+	e.energy = stash.energy
+	if stash.hadThermal {
+		*e.thermal = stash.thermal
+	}
+	*e.acct = stash.acct
+	e.totalBudget = stash.totalBudget
+	if stash.running {
+		e.compl.push(stash.ev)
+	} else {
+		e.arrivals.push(stash.ev)
+	}
+	e.stateGen++
+}

@@ -1,0 +1,98 @@
+package transcode_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mamut/internal/baseline"
+	"mamut/internal/hevc"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+)
+
+// benchEngine is migEngine for benchmarks: n migratable sessions, all
+// started and advanced to mid-stream.
+func benchEngine(b *testing.B, n int, seed int64) *transcode.Engine {
+	b.Helper()
+	spec := platform.DefaultSpec()
+	eng, err := transcode.NewEngine(spec, hevc.DefaultModel(), seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		res := video.HR
+		if i%2 == 1 {
+			res = video.LR
+		}
+		src, err := video.NewStatefulGenerator(migSequence(res, "mig"), seed*100+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		initial := transcode.Settings{QP: 32, Threads: 2, FreqGHz: spec.MaxGHz()}
+		ctrl, err := baseline.NewHeuristic(baseline.DefaultHeuristicConfig(res, spec, 6), initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.AddSession(transcode.SessionConfig{
+			Source:      src,
+			Controller:  ctrl,
+			Initial:     initial,
+			FrameBudget: 1 << 30, // effectively unbounded: no departures mid-benchmark
+			StartAtSec:  0,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.AdvanceTo(2.0); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkMigration measures one full live migration — extract, wire
+// encode, wire decode, inject into another engine — ping-ponging a
+// session between two engines with n resident sessions each, so the cost
+// includes the completion-heap and load-accounting work at realistic
+// occupancy.
+func BenchmarkMigration(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("resident=%d", n), func(b *testing.B) {
+			engs := [2]*transcode.Engine{benchEngine(b, n, 41), benchEngine(b, n, 42)}
+			// Fresh shells per injection are part of a real migration's
+			// cost; build their configs once.
+			seqHR := migSequence(video.HR, "mig")
+			spec := platform.DefaultSpec()
+			initial := transcode.Settings{QP: 32, Threads: 2, FreqGHz: spec.MaxGHz()}
+			hcfg := baseline.DefaultHeuristicConfig(video.HR, spec, 6)
+			cur, id := 0, 0 // session 0 is HR
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := engs[cur].ExtractSession(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire, err := transcode.EncodeSessionState(st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := transcode.DecodeSessionState(wire)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, err := video.NewStatefulGenerator(seqHR, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrl, err := baseline.NewHeuristic(hcfg, initial)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cur = 1 - cur
+				if id, err = engs[cur].InjectSession(src, ctrl, rt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,8 @@ package video
 import (
 	"fmt"
 	"math/rand"
+
+	"mamut/internal/xrand"
 )
 
 // Resolution identifies one of the two resolution classes used in the paper.
@@ -139,10 +141,13 @@ const (
 	maxComplexity   = 2.50
 )
 
-// generator streams frames for a single Sequence.
+// generator streams frames for a single Sequence. src is non-nil only
+// when the generator owns its rng stream (NewStatefulGenerator), which is
+// what enables SourceState/RestoreSourceState.
 type generator struct {
 	seq        *Sequence
 	rng        *rand.Rand
+	src        *xrand.Source
 	index      int
 	sceneLeft  int
 	sceneMean  float64

@@ -9,23 +9,37 @@
 // are fixed by the seed alone, so simulations remain bit-identical for a
 // given seed; they are not streams of the stdlib source, so changing an
 // rng over to xrand changes (but does not de-determinise) results.
+//
+// Unlike the stdlib sources, a Source exposes its complete state (a
+// single uint64) through State/SetState: an owner that keeps the typed
+// *Source alongside its *rand.Rand can freeze the stream mid-run and
+// resume it elsewhere bit-exactly, which is what makes live session
+// migration possible.
 package xrand
 
 import "math/rand"
 
 // New returns a *rand.Rand over a splitmix64 stream seeded in O(1).
 func New(seed int64) *rand.Rand {
-	return rand.New(&source{state: uint64(seed)})
+	return rand.New(NewSource(seed))
 }
 
-// source is a splitmix64 rand.Source64 (Sebastiano Vigna's SplitMix64).
-type source struct{ state uint64 }
+// NewSource returns the splitmix64 source itself for owners that need to
+// snapshot and restore the stream (session migration). rand.New(NewSource(s))
+// produces exactly the stream of New(s).
+func NewSource(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// Source is a splitmix64 rand.Source64 (Sebastiano Vigna's SplitMix64).
+// Its entire state is one uint64, readable and settable at any point.
+type Source struct{ state uint64 }
 
 // Seed implements rand.Source.
-func (s *source) Seed(seed int64) { s.state = uint64(seed) }
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
 
 // Uint64 implements rand.Source64.
-func (s *source) Uint64() uint64 {
+func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15
 	z := s.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -34,4 +48,11 @@ func (s *source) Uint64() uint64 {
 }
 
 // Int63 implements rand.Source.
-func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State returns the current stream state. Restoring it with SetState on
+// any Source resumes the identical stream.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState overwrites the stream state.
+func (s *Source) SetState(state uint64) { s.state = state }

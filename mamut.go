@@ -371,6 +371,20 @@ type (
 	ServeGridSpec = serve.GridSpec
 	// ServeGridCell couples one grid coordinate with its result.
 	ServeGridCell = serve.GridCell
+	// ServeRebalancer plans live session migrations on the service's
+	// control-epoch schedule (ServeConfig.Rebalance enables the built-in
+	// power-hotspot implementation; ServeConfig.RebalancerFactory
+	// installs a custom one).
+	ServeRebalancer = serve.Rebalancer
+	// ServeMove is one rebalancing step: migrate Sessions live sessions
+	// from server From to server To.
+	ServeMove = serve.Move
+	// ServeAutoscale parametrises target-utilization fleet autoscaling
+	// (ServeConfig.Autoscale).
+	ServeAutoscale = serve.AutoscaleConfig
+	// ServeDrainEvent schedules one server decommission: stop admitting,
+	// live-migrate the residents off, remove the server once empty.
+	ServeDrainEvent = serve.DrainEvent
 	// MAMUTSnapshot is the portable learned state of one MAMUT controller
 	// (all three agents' Q-tables, visit counts and transition models) —
 	// the unit of cross-session knowledge reuse.
