@@ -14,7 +14,12 @@
 // arrival, and the built-in policies place through incremental fleet
 // indexes, so thousands of servers dispatch in O(log n) per arrival.
 // -dispatch scan selects the O(servers) reference sweep; the two
-// produce byte-identical output.
+// produce byte-identical output. -shards S additionally splits the
+// fleet across S dispatcher goroutines that advance their servers'
+// engines in parallel between placements (server i belongs to shard
+// i mod S), reconciling with the coordinator before every decision —
+// output stays byte-identical to -shards 1; the gain is wall clock on
+// multi-core hosts at large fleet sizes (see cmd/mamut-fleetbench).
 //
 // With -knowledge the fleet shares learned transcoding knowledge across
 // sessions (KaaS-style warm starts): departing MAMUT sessions contribute
@@ -90,6 +95,7 @@ func main() {
 		duration   = flag.Float64("duration", 300, "arrival-process horizon (simulated seconds)")
 		seed       = flag.Int64("seed", 1, "seed; equal seeds give byte-identical output")
 		workers    = flag.Int("workers", 0, "parallel worker goroutines (0 = one per CPU); output is identical for any value")
+		shards     = flag.Int("shards", 0, "fleet shards advancing engines in parallel (0/1 = unsharded); output is identical for any value")
 		mix        = flag.Float64("mix", 0.4, "fraction of arrivals requesting HR (the rest are LR)")
 		meanSess   = flag.Float64("mean-session", 60, "mean session length (seconds, exponential)")
 		admission  = flag.Int("admission", 8, "per-server admission limit (sessions)")
@@ -167,6 +173,7 @@ func main() {
 		Dispatch:          mamut.ServeDispatchMode(*dispatch),
 		Seed:              *seed,
 		Workers:           *workers,
+		Shards:            *shards,
 		EpochSec:          *epoch,
 		Rebalance:         *rebalance,
 		MigrationStallSec: *migStall,

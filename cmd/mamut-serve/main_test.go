@@ -82,14 +82,21 @@ func TestElasticFleetGolden(t *testing.T) {
 		name     string
 		dispatch mamut.ServeDispatchMode
 		workers  int
+		shards   int
 	}{
-		{"indexed_w1", mamut.DispatchIndexed, 1},
-		{"indexed_w4", mamut.DispatchIndexed, 4},
-		{"scan_w1", mamut.DispatchScan, 1},
+		{"indexed_w1", mamut.DispatchIndexed, 1, 0},
+		{"indexed_w4", mamut.DispatchIndexed, 4, 0},
+		{"scan_w1", mamut.DispatchScan, 1, 0},
+		// Sharded variants assert against the same golden bytes: the
+		// sharded dispatcher's contract is bit-identical output.
+		{"indexed_w1_s4", mamut.DispatchIndexed, 1, 4},
+		{"indexed_w4_s4", mamut.DispatchIndexed, 4, 4},
+		{"scan_w1_s4", mamut.DispatchScan, 1, 4},
 	} {
 		cfg := elasticSmokeConfig()
 		cfg.Dispatch = variant.dispatch
 		cfg.Workers = variant.workers
+		cfg.Shards = variant.shards
 		var buf bytes.Buffer
 		if err := run(&buf, cfg, runOpts{format: "summary", workers: cfg.Workers}); err != nil {
 			t.Fatalf("%s: %v", variant.name, err)
@@ -133,14 +140,21 @@ func TestFleetSmokeGolden(t *testing.T) {
 				name     string
 				dispatch mamut.ServeDispatchMode
 				workers  int
+				shards   int
 			}{
-				{"indexed_w1", mamut.DispatchIndexed, 1},
-				{"indexed_w4", mamut.DispatchIndexed, 4},
-				{"scan_w1", mamut.DispatchScan, 1},
+				{"indexed_w1", mamut.DispatchIndexed, 1, 0},
+				{"indexed_w4", mamut.DispatchIndexed, 4, 0},
+				{"scan_w1", mamut.DispatchScan, 1, 0},
+				// Sharded variants assert against the same golden bytes:
+				// the sharded dispatcher's contract is bit-identical output.
+				{"indexed_w1_s4", mamut.DispatchIndexed, 1, 4},
+				{"indexed_w4_s4", mamut.DispatchIndexed, 4, 4},
+				{"scan_w1_s4", mamut.DispatchScan, 1, 4},
 			} {
 				cfg := fleetSmokeConfig(policy)
 				cfg.Dispatch = variant.dispatch
 				cfg.Workers = variant.workers
+				cfg.Shards = variant.shards
 				var buf bytes.Buffer
 				if err := run(&buf, cfg, runOpts{format: "summary", workers: cfg.Workers}); err != nil {
 					t.Fatalf("%s: %v", variant.name, err)

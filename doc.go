@@ -94,6 +94,32 @@
 // BenchmarkFleetScale tracks the per-arrival cost: near-flat from 10 to
 // 5000 servers, where the seed's O(servers) sweep grew linearly.
 //
+// # Sharded fleet dispatch
+//
+// Indexing removes the O(servers) placement cost; what remains serial
+// is advancing the engine simulations themselves, and that
+// parallelises. ServeConfig.Shards splits the fleet across per-shard
+// dispatcher goroutines (server i belongs to shard i mod S) in a phased
+// design: each shard exclusively owns its servers' engines, its
+// partition of the engine event heap, and buffers for departures and
+// knowledge harvests; the coordinator runs the arrival/epoch clock
+// serially and, at each sweep, opens a barrier under which due shards
+// advance their disjoint engines concurrently, then reconciles the
+// buffers in shard-ID order before any placement decision. Shared state
+// — the KnowledgeStore, global accounting, streaming aggregates, policy
+// fleet indexes — is only ever touched in the serial phase, so no locks
+// exist anywhere. Determinism is by construction: the shard heaps
+// exactly partition the global heap (every engine sees the identical
+// AdvanceTo sequence), departure folds sort by arrival ID (erasing the
+// merge order), and the policy indexes are layout-independent — so
+// Shards=S output is byte-identical to Shards<=1 for every policy, both
+// dispatchers, knowledge reuse and full elasticity (equivalence tests,
+// race-detector stress and CI goldens pin this). cmd/mamut-fleetbench
+// measures ns/arrival across (fleet size x shard count) and writes a
+// machine-readable artifact stamped with the measuring environment;
+// SplitArrivals is the workload-side counterpart, dealing one arrival
+// stream into interleaved per-region substreams.
+//
 // # Cross-session knowledge reuse
 //
 // Short-lived sessions are where a real transcoding service lives — and

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScalingReportMeasureAndSpeedups(t *testing.T) {
+	r := NewScalingReport("test")
+	if r.NumCPU < 1 || r.GOMAXPROCS < 1 || r.GoVersion == "" {
+		t.Fatalf("environment not stamped: %+v", r)
+	}
+	for _, cell := range []struct {
+		label  string
+		size   int
+		shards int
+		n      int
+		busy   int
+	}{
+		{"n100/s1", 100, 1, 1000, 400},
+		{"n100/s4", 100, 4, 1000, 100},
+		{"n200/s1", 200, 1, 500, 300},
+	} {
+		cell := cell
+		if _, err := r.Measure(cell.label, cell.size, cell.shards, func() (int, error) {
+			// Busy-spin a deterministic amount so ns/arrival orders the
+			// cells the way the speedup assertions below expect.
+			sink := 0
+			for i := 0; i < cell.busy*100000; i++ {
+				sink += i
+			}
+			_ = sink
+			return cell.n, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.Cells) != 3 {
+		t.Fatalf("got %d cells", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.NsPerArrival <= 0 || c.ElapsedSec <= 0 {
+			t.Fatalf("cell %s not measured: %+v", c.Label, c)
+		}
+	}
+	best := r.ComputeSpeedups()
+	if got := r.Cells[0].SpeedupX; got != 1 {
+		t.Fatalf("1-shard baseline speedup should be exactly 1, got %v", got)
+	}
+	if got := r.Cells[1].SpeedupX; got <= 1 {
+		t.Fatalf("faster 4-shard cell should show >1x speedup, got %v", got)
+	}
+	if best < r.Cells[1].SpeedupX {
+		t.Fatalf("best %v below cell speedup %v", best, r.Cells[1].SpeedupX)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"fleet_size"`, `"ns_per_arrival"`, `"gomaxprocs"`, `"speedup_x"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("artifact missing %s:\n%s", want, buf.String())
+		}
+	}
+	back, err := ReadScalingReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(r.Cells) || back.Cells[1].Label != "n100/s4" {
+		t.Fatalf("round-trip mangled the report: %+v", back)
+	}
+}
+
+func TestScalingReportMeasureErrors(t *testing.T) {
+	r := NewScalingReport("test")
+	if _, err := r.Measure("bad", 1, 1, func() (int, error) { return 0, nil }); err == nil {
+		t.Fatal("zero arrivals should be an error")
+	}
+	if len(r.Cells) != 0 {
+		t.Fatal("failed cells must not be recorded")
+	}
+}

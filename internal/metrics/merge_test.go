@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Shard reconciliation folds per-shard aggregates back into the global
+// ones, so the merge operations must not care how a sample stream was
+// partitioned or in which order the partitions fold. These property
+// tests drive random streams through random splits and assert exactly
+// that: Histogram.Merge is integer arithmetic and must agree bit for
+// bit; DecayedMean.Merge composes decay factors and is held to a few
+// ulp.
+
+// mergeSplit deals each sample of a stream to one of k partitions at
+// random, preserving per-partition time order (a shard sees its subset
+// of the stream in stream order).
+func mergeSplit(rng *rand.Rand, n, k int) [][]int {
+	parts := make([][]int, k)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(k)
+		parts[p] = append(parts[p], i)
+	}
+	return parts
+}
+
+// TestHistogramMergeProperties: merging random partitions of a stream,
+// in a random partition order, reproduces the single-stream histogram
+// exactly — every bin count, both tails, and every quantile.
+func TestHistogramMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Float64() * 10
+		hi := lo + 1 + rng.Float64()*50
+		bins := 1 + rng.Intn(64)
+		n := rng.Intn(400)
+		// Samples spill past the range on purpose so the tails merge too.
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = lo + (rng.Float64()*1.4-0.2)*(hi-lo)
+		}
+
+		whole, err := NewHistogram(lo, hi, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			whole.Add(x)
+		}
+
+		k := 1 + rng.Intn(6)
+		parts := make([]*Histogram, k)
+		for p := range parts {
+			parts[p], _ = NewHistogram(lo, hi, bins)
+		}
+		for p, idxs := range mergeSplit(rng, n, k) {
+			for _, i := range idxs {
+				parts[p].Add(xs[i])
+			}
+		}
+		merged, _ := NewHistogram(lo, hi, bins)
+		for _, p := range rng.Perm(k) {
+			if err := merged.Merge(parts[p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if merged.n != whole.n || merged.under != whole.under || merged.over != whole.over {
+			t.Fatalf("trial %d: totals diverged: merged (n=%d u=%d o=%d) vs whole (n=%d u=%d o=%d)",
+				trial, merged.n, merged.under, merged.over, whole.n, whole.under, whole.over)
+		}
+		for i := range whole.counts {
+			if merged.counts[i] != whole.counts[i] {
+				t.Fatalf("trial %d: bin %d diverged: %d vs %d", trial, i, merged.counts[i], whole.counts[i])
+			}
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+			if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+				t.Fatalf("trial %d: q%.2f diverged: %v vs %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeAssociativity: (a⊔b)⊔c equals a⊔(b⊔c) exactly.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		bins := 1 + rng.Intn(16)
+		fill := func() *Histogram {
+			h, _ := NewHistogram(0, 100, bins)
+			for i := rng.Intn(50); i > 0; i-- {
+				h.Add(rng.Float64()*120 - 10)
+			}
+			return h
+		}
+		a1, b1, c1 := fill(), fill(), fill()
+		a2, _ := NewHistogram(0, 100, bins)
+		if err := a2.Merge(a1); err != nil {
+			t.Fatal(err)
+		}
+		// Left fold: (a ⊔ b) ⊔ c.
+		left := *a2
+		left.counts = append([]int(nil), a2.counts...)
+		if err := left.Merge(b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(c1); err != nil {
+			t.Fatal(err)
+		}
+		// Right fold: a ⊔ (b ⊔ c).
+		bc := *b1
+		bc.counts = append([]int(nil), b1.counts...)
+		if err := bc.Merge(c1); err != nil {
+			t.Fatal(err)
+		}
+		right := *a2
+		right.counts = append([]int(nil), a2.counts...)
+		if err := right.Merge(&bc); err != nil {
+			t.Fatal(err)
+		}
+		if left.n != right.n || left.under != right.under || left.over != right.over {
+			t.Fatalf("trial %d: association changed totals", trial)
+		}
+		for i := range left.counts {
+			if left.counts[i] != right.counts[i] {
+				t.Fatalf("trial %d: association changed bin %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 8)
+	b, _ := NewHistogram(0, 10, 9)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bin counts should fail")
+	}
+	c, _ := NewHistogram(0, 11, 8)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging mismatched ranges should fail")
+	}
+}
+
+// decayedSample is one (time, value) observation of a stream.
+type decayedSample struct{ t, x float64 }
+
+// TestDecayedMeanMergeProperties: partitioning a time-ordered stream
+// into random shards, folding each shard into its own DecayedMean, and
+// merging in a random order must agree with the single-stream value up
+// to floating-point rounding in the composed decay factors.
+func TestDecayedMeanMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 200; trial++ {
+		tau := 1 + rng.Float64()*100
+		n := 1 + rng.Intn(300)
+		samples := make([]decayedSample, n)
+		clock := rng.Float64() * 10
+		for i := range samples {
+			clock += rng.Float64() * 3
+			samples[i] = decayedSample{clock, rng.Float64() * 100}
+		}
+
+		whole, err := NewDecayedMean(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			whole.Add(s.t, s.x)
+		}
+
+		k := 1 + rng.Intn(6)
+		parts := make([]*DecayedMean, k)
+		for p := range parts {
+			parts[p], _ = NewDecayedMean(tau)
+		}
+		for p, idxs := range mergeSplit(rng, n, k) {
+			for _, i := range idxs {
+				parts[p].Add(samples[i].t, samples[i].x)
+			}
+		}
+		merged, _ := NewDecayedMean(tau)
+		for _, p := range rng.Perm(k) {
+			if err := merged.Merge(parts[p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		got, want := merged.Value(), whole.Value()
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("trial %d (k=%d): merged %v vs whole %v (diff %g)", trial, k, got, want, got-want)
+		}
+	}
+}
+
+// TestDecayedMeanMergeCommutes: a⊔b and b⊔a are bit-identical — the
+// younger anchor always wins and IEEE addition commutes, so there is no
+// rounding asymmetry at all for a single pairwise merge.
+func TestDecayedMeanMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 200; trial++ {
+		tau := 1 + rng.Float64()*50
+		fill := func() *DecayedMean {
+			m, _ := NewDecayedMean(tau)
+			clock := rng.Float64() * 5
+			for i := rng.Intn(40); i > 0; i-- {
+				clock += rng.Float64() * 2
+				m.Add(clock, rng.Float64()*10)
+			}
+			return m
+		}
+		a, b := fill(), fill()
+		ab, ba := *a, *b
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if ab != ba {
+			t.Fatalf("trial %d: merge does not commute: %+v vs %+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestDecayedMeanMergeEdges(t *testing.T) {
+	a, _ := NewDecayedMean(10)
+	b, _ := NewDecayedMean(10)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value() != 0 {
+		t.Fatalf("empty⊔empty should stay empty, got %v", a.Value())
+	}
+	b.Add(3, 42)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value() != 42 {
+		t.Fatalf("empty⊔{42} should equal 42, got %v", a.Value())
+	}
+	c, _ := NewDecayedMean(20)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging different time constants should fail")
+	}
+}

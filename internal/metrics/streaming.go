@@ -258,3 +258,41 @@ func (m *DecayedMean) Value() float64 {
 	}
 	return m.num / m.den
 }
+
+// Merge folds another decayed mean into this one: the side anchored
+// earlier is decayed to the later anchor and the weighted sums add, so
+// the result is the decayed mean of the union of the two sample streams.
+// The time constants must match. Merging is exactly commutative (IEEE
+// addition commutes) and associative up to floating-point rounding in
+// the composed decay factors — exp(-a)*exp(-b) vs exp(-(a+b)) — so
+// shard-partitioned streams merge to the same value whatever the split,
+// within a few ulp (property-tested in merge_test.go).
+func (m *DecayedMean) Merge(o *DecayedMean) error {
+	if m.tau != o.tau {
+		return fmt.Errorf("metrics: merging decayed means with different time constants (%g vs %g)", m.tau, o.tau)
+	}
+	if o.den == 0 {
+		return nil
+	}
+	if m.den == 0 {
+		m.t, m.num, m.den = o.t, o.num, o.den
+		return nil
+	}
+	num, den, t := o.num, o.den, o.t
+	if dt := m.t - t; dt > 0 {
+		// The other side is older: decay it forward to our anchor.
+		f := math.Exp(-dt / m.tau)
+		num *= f
+		den *= f
+		t = m.t
+	} else if dt < 0 {
+		// We are older: decay ourselves forward to the other anchor.
+		f := math.Exp(dt / m.tau)
+		m.num *= f
+		m.den *= f
+	}
+	m.t = t
+	m.num += num
+	m.den += den
+	return nil
+}

@@ -334,6 +334,13 @@ func (d *dispatcher) addServer() {
 	if d.store != nil {
 		fs.harvest = make(map[int]harvestEntry)
 	}
+	if d.shards != nil {
+		// Scaled-out servers join shards on the same index-mod rule as
+		// the initial fleet (runs in the serial phase; shards are idle).
+		sh := d.shards[i%len(d.shards)]
+		fs.sh = sh
+		sh.srv = append(sh.srv, i)
+	}
 	d.servers = append(d.servers, fs)
 	d.states = append(d.states, ServerState{
 		Index:        i,

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"mamut/internal/core"
 	"mamut/internal/experiments"
@@ -85,6 +86,17 @@ type Config struct {
 	// (0 = one per CPU, 1 = serial). Results are bit-identical for any
 	// worker count.
 	Workers int
+	// Shards splits the fleet across per-shard dispatcher goroutines:
+	// server i belongs to shard i mod Shards, and each shard advances
+	// its own engines (with its own slice of the event heap) in the
+	// parallel phase of every dispatcher step, reconciling with the
+	// coordinator at a barrier before any placement or epoch decision —
+	// see shard.go. Results are bit-identical to Shards <= 1 (the
+	// single-goroutine dispatcher) for every policy, both dispatchers,
+	// knowledge reuse and the elastic features; shards only buy wall
+	// clock on multi-core hosts once fleets are large enough that
+	// advancing engines dominates placement. 0 or 1 = unsharded.
+	Shards int
 	// Dispatch selects the dispatcher implementation: DispatchIndexed
 	// (default) or DispatchScan. The two produce bit-identical results;
 	// the scan path is the O(servers)-per-arrival reference.
@@ -404,6 +416,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("serve: workers %d < 0", c.Workers)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("serve: shards %d < 0", c.Shards)
+	}
 	switch c.Dispatch {
 	case DispatchIndexed, DispatchScan:
 	default:
@@ -522,6 +537,12 @@ type fleetServer struct {
 	// is never reused.
 	decom   bool
 	retired bool
+
+	// sh is the shard owning this server (nil when the run is unsharded).
+	// During the parallel sweep window only the owning shard's goroutine
+	// touches this server; the departure hook buffers into sh instead of
+	// the dispatcher (see shard.go).
+	sh *shard
 }
 
 // residentRec is the arrival-side half of a future departRec. seq is the
@@ -684,6 +705,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := d.init(len(arrivals)); err != nil {
 		return nil, err
 	}
+	// Join the shard goroutines however the run ends (including mid-run
+	// errors); no-op for unsharded runs.
+	defer d.stopShards()
 	if d.epochSec > 0 {
 		// Elastic run: interleave the control epochs with the arrivals on
 		// the one merged clock. An epoch due exactly at an arrival's
@@ -743,6 +767,15 @@ type dispatcher struct {
 	states  []ServerState
 	evts    heaps.Heap[fleetEvent]
 	nextEvt []float64 // current heap key per server (+Inf = idle, not in heap)
+
+	// Sharded sweep (cfg.Shards > 1 only; see shard.go): the fleet
+	// partitions, the barrier acknowledgement channel, the goroutine
+	// join, and the flag marking the parallel window — the departure
+	// hook buffers shard-locally exactly while it is up.
+	shards    []*shard
+	shardAcks chan shardAck
+	shardWG   sync.WaitGroup
+	parallel  bool
 
 	// Knowledge reuse: the store, the seed snapshot the WarmStart
 	// closure hands the next controller, the cross-fleet departure batch
@@ -904,6 +937,7 @@ func (d *dispatcher) init(arrivals int) error {
 			d.idx = fi.NewFleetIndex(d.states)
 		}
 	}
+	d.initShards()
 	return nil
 }
 
@@ -1090,6 +1124,9 @@ func (d *dispatcher) foldDepart(r departRec, t float64) {
 // any result (see transcode.Engine.AdvanceTo). The scan path advances
 // every live engine, as the reference dispatcher did.
 func (d *dispatcher) sweepTo(t float64) error {
+	if d.shards != nil {
+		return d.sweepShards(t)
+	}
 	if !d.indexed {
 		for _, fs := range d.servers {
 			if fs.eng != nil {
@@ -1119,9 +1156,16 @@ func (d *dispatcher) sweepTo(t float64) error {
 func (d *dispatcher) scheduleServer(i int) {
 	next := d.servers[i].eng.NextEventTime()
 	d.nextEvt[i] = next
-	if !math.IsInf(next, 1) {
-		d.evts.Push(fleetEvent{key: next, id: i})
+	if math.IsInf(next, 1) {
+		return
 	}
+	// A sharded run keys the event into the owning shard's partition of
+	// the heap; the partitions' union is exactly the unsharded heap.
+	if sh := d.servers[i].sh; sh != nil {
+		sh.evts.Push(fleetEvent{key: next, id: i})
+		return
+	}
+	d.evts.Push(fleetEvent{key: next, id: i})
 }
 
 // refreshState rebuilds one server's incrementally maintained state from
@@ -1200,6 +1244,9 @@ func (d *dispatcher) createEngine(i int) error {
 	}
 	fs := d.servers[i]
 	fs.eng = eng
+	if fs.sh != nil {
+		fs.sh.engines++ // scan-mode shard wake filter; engines are never torn down
+	}
 	fs.power = metrics.NewPowerIntegrator(d.cfg.WarmupSec, d.cfg.Workload.DurationSec)
 	eng.DiscardDeparted(true)
 	eng.OnFrame(func(obs transcode.Observation) {
@@ -1241,6 +1288,24 @@ func (d *dispatcher) createEngine(i int) error {
 			// not be touched from here — the record goes to the server's
 			// own drained slice and folds, sorted, at finish.
 			fs.drained = append(fs.drained, dr)
+			return
+		}
+		if d.parallel {
+			// Parallel sweep window of a sharded run: the hook is on the
+			// owning shard's goroutine, so only shard-local state may be
+			// touched. The global side — the active count, the stats
+			// batch, the state/index refresh, the harvest hand-off — is
+			// applied by the coordinator at the barrier close in shard-ID
+			// order; the folds sort by arrival ID, so nothing downstream
+			// can tell the difference from the inline path below.
+			sh := fs.sh
+			sh.departs = append(sh.departs, dr)
+			if fs.harvest != nil {
+				if entry, ok := fs.harvest[end.SessionID]; ok {
+					sh.harvest = append(sh.harvest, entry)
+					delete(fs.harvest, end.SessionID)
+				}
+			}
 			return
 		}
 		d.active--

@@ -381,3 +381,33 @@ func normalizeTrace(w Workload, catalog *video.Catalog, seed int64) ([]SessionRe
 	}
 	return out, nil
 }
+
+// SplitArrivals deterministically partitions an arrival stream into
+// shard substreams by interleaved round-robin on arrival ID: request r
+// goes to substream r.ID mod shards. GenerateArrivals (and trace
+// normalization) number arrivals 0..n-1 in time order, so the substreams
+// interleave one-in-S, each preserves the stream's time order, their
+// sizes differ by at most one, and their ID-ordered union is exactly the
+// input stream — the invariants a regional split of the workload needs
+// (hashing the ID would satisfy them equally, minus the balance bound).
+// The sharded dispatcher itself partitions servers, not arrivals (every
+// arrival must see the whole fleet for placement to stay policy-exact —
+// see shard.go); SplitArrivals is the workload-side primitive for
+// driving independent per-region runs over one generated stream.
+func SplitArrivals(arrivals []SessionRequest, shards int) ([][]SessionRequest, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("serve: cannot split arrivals into %d shards", shards)
+	}
+	out := make([][]SessionRequest, shards)
+	for s := range out {
+		out[s] = make([]SessionRequest, 0, (len(arrivals)+shards-1)/shards)
+	}
+	for _, r := range arrivals {
+		s := r.ID % shards
+		if s < 0 { // defensive: hand-built traces could carry negative IDs
+			s += shards
+		}
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}

@@ -451,3 +451,22 @@ func RunService(cfg ServeConfig) (*ServeResult, error) { return serve.Run(cfg) }
 // RunServiceGrid fans a (policy x arrival-rate x seed) grid of service
 // runs across the worker pool, in deterministic cell order.
 func RunServiceGrid(spec ServeGridSpec) ([]ServeGridCell, error) { return serve.RunGrid(spec) }
+
+// ServeArrivals generates (or replays) the arrival stream a ServeConfig
+// with this workload and seed would dispatch — the same stream RunService
+// consumes. A nil catalog uses the default.
+func ServeArrivals(w ServeWorkload, catalog *Catalog, seed int64) ([]ServeSessionRequest, error) {
+	if catalog == nil {
+		catalog = video.DefaultCatalog()
+	}
+	return serve.GenerateArrivals(w, catalog, seed)
+}
+
+// SplitServeArrivals partitions an arrival stream into interleaved
+// round-robin substreams (request r to substream r.ID mod shards): each
+// substream preserves time order, sizes differ by at most one, and the
+// ID-ordered union is exactly the input — the workload-side primitive
+// for driving independent per-region runs over one generated stream.
+func SplitServeArrivals(arrivals []ServeSessionRequest, shards int) ([][]ServeSessionRequest, error) {
+	return serve.SplitArrivals(arrivals, shards)
+}
