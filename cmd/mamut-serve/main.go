@@ -44,6 +44,17 @@
 // -workers count and both dispatchers. The summary gains an "elastic:"
 // line with migration and scaling counts.
 //
+// With -queue N arrivals that find no capacity wait in a bounded
+// fleet-level admission queue instead of being rejected outright: FIFO
+// within a resolution-class priority order (-queue-prio hr-first,
+// lr-first or fifo), dropped after -queue-deadline seconds of waiting.
+// Departures and elastic epochs re-admit from the queue (draining
+// servers admit nothing); only arrivals that find the waiting room full
+// are rejected. The summary gains a "queue:" line splitting outcomes —
+// queued/admitted/deadline-dropped/rejected — and -quantiles adds
+// queue-wait and time-to-first-frame p50/p95/p99. With the queue off,
+// output is byte-identical to earlier releases.
+//
 // Metrics stream: power, utilization, class statistics and FPS/duration
 // quantile sketches fold into constant-size accumulators as sessions
 // depart, so memory stays O(active sessions) over arbitrarily long
@@ -67,6 +78,8 @@
 //	mamut-serve -servers 2 -mean-session 15 -knowledge-in kb.json -seed 2
 //	mamut-serve -servers 4 -arrival-rate 2 -curve diurnal -amplitude 0.9 \
 //	    -autoscale -rebalance -drain 60:0    # elastic fleet under a spike
+//	mamut-serve -servers 4 -arrival-rate 2 -curve burst -burst-factor 4 \
+//	    -queue 64 -queue-deadline 20 -quantiles  # queued flash crowd
 //	mamut-serve -servers 5000 -arrival-rate 100 -duration 60 -cpuprofile cpu.pprof
 //	mamut-serve -servers 2 -policies round-robin,least-loaded,power \
 //	    -rates 0.2,0.4,0.8 -seeds 1,2,3        # (policy x rate x seed) grid
@@ -101,9 +114,15 @@ func main() {
 		admission  = flag.Int("admission", 8, "per-server admission limit (sessions)")
 		warmup     = flag.Float64("warmup", -1, "measurement-window start (seconds; -1 = duration/4)")
 		approach   = flag.String("approach", string(mamut.ApproachMAMUT), "per-session controller: mamut|monoagent|heuristic")
-		curve      = flag.String("curve", string(mamut.LoadConstant), "load curve: constant|diurnal|ramp")
+		curve      = flag.String("curve", string(mamut.LoadConstant), "load curve: constant|diurnal|ramp|burst")
 		amplitude  = flag.Float64("amplitude", 0.5, "diurnal modulation depth in [0,1)")
 		rampTo     = flag.Float64("ramp-factor", 2, "ramp: final/base arrival-rate ratio")
+		burstTo    = flag.Float64("burst-factor", 0, "burst: spike/base arrival-rate ratio (0 = default 3)")
+		burstFrom  = flag.Float64("burst-start", 0, "burst: spike window start (seconds; with -burst-end 0, defaults to duration/4)")
+		burstUntil = flag.Float64("burst-end", 0, "burst: spike window end (seconds; with -burst-start 0, defaults to duration/2)")
+		queueCap   = flag.Int("queue", 0, "admission-queue capacity (0 = off: reject on full, the historical behavior)")
+		queueDL    = flag.Float64("queue-deadline", 0, "admission-queue per-entry deadline (seconds; 0 = default 30)")
+		queuePrio  = flag.String("queue-prio", "", "admission-queue priority order: "+strings.Join(queuePrioNames(), "|")+" (empty = hr-first)")
 		slo        = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
 		knowledge  = flag.Bool("knowledge", false, "share learned knowledge across sessions (KaaS-style warm starts; mamut approach only)")
 		rebalance  = flag.Bool("rebalance", false, "live-migrate sessions away from power hotspots every epoch")
@@ -149,6 +168,19 @@ func main() {
 	if setFlags["admission"] && *admission <= 0 {
 		fatal(fmt.Errorf("-admission %d must be >= 1", *admission))
 	}
+	if *queueCap <= 0 && (setFlags["queue-deadline"] || setFlags["queue-prio"]) {
+		fatal(fmt.Errorf("-queue-deadline/-queue-prio require -queue N with N >= 1"))
+	}
+	if *queueCap > 0 {
+		// Resolve the queue defaults here so the summary header can print
+		// the effective values, mirroring the library's withDefaults.
+		if *queueDL == 0 {
+			*queueDL = mamut.DefaultQueueDeadlineSec
+		}
+		if *queuePrio == "" {
+			*queuePrio = string(mamut.QueuePrioHRFirst)
+		}
+	}
 	drainEvents, err := parseDrain(*drain)
 	if err != nil {
 		fatal(err)
@@ -166,6 +198,9 @@ func main() {
 			Curve:          mamut.ServeLoadCurve(*curve),
 			CurveAmplitude: *amplitude,
 			RampEndFactor:  *rampTo,
+			BurstFactor:    *burstTo,
+			BurstStartSec:  *burstFrom,
+			BurstEndSec:    *burstUntil,
 		},
 		WarmupSec:         *warmup,
 		SLOFPSFactor:      *slo,
@@ -183,6 +218,11 @@ func main() {
 			MinServers:    *scaleMin,
 			MaxServers:    *scaleMax,
 			TargetUtilPct: *scaleTgt,
+		},
+		Queue: mamut.ServeQueueConfig{
+			Capacity:    *queueCap,
+			DeadlineSec: *queueDL,
+			Priority:    mamut.ServeQueuePriority(*queuePrio),
 		},
 	}
 	opts := runOpts{
@@ -293,7 +333,7 @@ func run(w io.Writer, cfg mamut.ServeConfig, opts runOpts) error {
 	case "summary":
 		printSummary(w, cfg, res)
 		if opts.quantiles {
-			printQuantiles(w, res)
+			printQuantiles(w, cfg, res)
 		}
 	case "csv":
 		printCSV(w, res)
@@ -351,12 +391,14 @@ func runGrid(w io.Writer, base mamut.ServeConfig, opts runOpts) error {
 		return err
 	}
 	fmt.Fprintln(w, "policy,arrival_rate,seed,offered,admitted,rejected,rejection_pct,"+
+		"queue_dropped_pct,avg_queue_wait_sec,"+
 		"measured,slo_pct,hr_slo_pct,lr_slo_pct,fleet_avg_power_w")
 	for _, c := range cells {
 		r := c.Result
-		fmt.Fprintf(w, "%s,%g,%d,%d,%d,%d,%.2f,%d,%.2f,%.2f,%.2f,%.2f\n",
+		fmt.Fprintf(w, "%s,%g,%d,%d,%d,%d,%.2f,%.2f,%.3f,%d,%.2f,%.2f,%.2f,%.2f\n",
 			c.Policy, c.ArrivalRate, c.Seed, r.Offered, r.Admitted, r.Rejected,
-			r.RejectionPct, r.Measured, r.SLOAttainedPct,
+			r.RejectionPct, r.QueueDroppedPct, r.AvgQueueWaitSec,
+			r.Measured, r.SLOAttainedPct,
 			r.HR.SLOAttainedPct, r.LR.SLOAttainedPct, r.FleetAvgPowerW)
 	}
 	return nil
@@ -375,6 +417,22 @@ func printSummary(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 	fmt.Fprintf(w, "arrivals: offered=%d admitted=%d rejected=%d (%.1f%%); in-window rejected %d of %d (%.1f%%)\n",
 		r.Offered, r.Admitted, r.Rejected, r.RejectionPct,
 		r.MeasuredRejected, r.MeasuredOffered, r.MeasuredRejectionPct)
+	if cfg.Queue.Capacity > 0 {
+		// Only queued configs print this line, keeping the byte output of
+		// every pre-existing invocation unchanged. Print the *effective*
+		// deadline/priority (the library resolves zero values the same
+		// way), so flag-driven and config-driven runs report identically.
+		deadline, prio := cfg.Queue.DeadlineSec, cfg.Queue.Priority
+		if deadline == 0 {
+			deadline = mamut.DefaultQueueDeadlineSec
+		}
+		if prio == "" {
+			prio = mamut.QueuePrioHRFirst
+		}
+		fmt.Fprintf(w, "queue: cap=%d deadline=%gs prio=%s; queued=%d admitted=%d dropped=%d (%.1f%% of offered); avg wait %.2fs\n",
+			cfg.Queue.Capacity, deadline, prio,
+			r.Queued, r.QueueAdmitted, r.QueueDropped, r.QueueDroppedPct, r.AvgQueueWaitSec)
+	}
 	fmt.Fprintf(w, "SLO (avg FPS >= %.0f%% of target): %.1f%% of %d measured sessions\n",
 		100*cfg.SLOFPSFactor, r.SLOAttainedPct, r.Measured)
 	if cfg.KnowledgeReuse {
@@ -405,8 +463,9 @@ func printSummary(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 
 // printQuantiles reports the streamed per-class distributions and the
 // time-decayed window stats. A separate block behind -quantiles so the
-// default summary bytes stay stable.
-func printQuantiles(w io.Writer, r *mamut.ServeResult) {
+// default summary bytes stay stable; the latency line and the queue-depth
+// suffix appear only when the admission queue is on, for the same reason.
+func printQuantiles(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 	for _, cls := range []struct {
 		name string
 		dist mamut.ServeClassDistributions
@@ -416,8 +475,26 @@ func printQuantiles(w io.Writer, r *mamut.ServeResult) {
 			cls.dist.DurationSec.P50, cls.dist.DurationSec.P95, cls.dist.DurationSec.P99,
 			cls.dist.FPS.Count)
 	}
-	fmt.Fprintf(w, "windowed (tau=%.0fs): SLO %.1f%%, rejection %.1f%%, utilization %.1f%%\n",
+	if cfg.Queue.Capacity > 0 {
+		fmt.Fprintf(w, "  latency: queue-wait p50/p95/p99 %.2f/%.2f/%.2f s, ttff p50/p95/p99 %.2f/%.2f/%.2f s\n",
+			r.QueueWaitDist.P50, r.QueueWaitDist.P95, r.QueueWaitDist.P99,
+			r.TTFFDist.P50, r.TTFFDist.P95, r.TTFFDist.P99)
+	}
+	fmt.Fprintf(w, "windowed (tau=%.0fs): SLO %.1f%%, rejection %.1f%%, utilization %.1f%%",
 		r.Windowed.TauSec, r.Windowed.SLOAttainedPct, r.Windowed.RejectionPct, r.Windowed.UtilizationPct)
+	if cfg.Queue.Capacity > 0 {
+		fmt.Fprintf(w, ", queue depth %.1f", r.Windowed.QueueDepth)
+	}
+	fmt.Fprintln(w)
+}
+
+// queuePrioNames lists the -queue-prio values for the flag help text.
+func queuePrioNames() []string {
+	var names []string
+	for _, p := range mamut.ServeQueuePriorities() {
+		names = append(names, string(p))
+	}
+	return names
 }
 
 func printCSV(w io.Writer, r *mamut.ServeResult) {

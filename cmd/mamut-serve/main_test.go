@@ -131,6 +131,88 @@ func TestElasticFleetGolden(t *testing.T) {
 	}
 }
 
+// queuedSmokeConfig mirrors the CI queued smoke step's flags — a tight
+// fleet under a flash-crowd burst with the admission queue on, so queue
+// entries, deadline drops and re-admissions all occur:
+//
+//	mamut-serve -servers 64 -admission 1 -arrival-rate 4 -duration 40 \
+//	    -warmup 10 -mean-session 15 -approach heuristic -seed 7 \
+//	    -curve burst -burst-factor 3 -burst-start 10 -burst-end 25 \
+//	    -queue 32 -queue-deadline 8
+func queuedSmokeConfig() mamut.ServeConfig {
+	cfg := fleetSmokeConfig(mamut.PolicyLeastLoaded)
+	cfg.MaxSessionsPerServer = 1
+	cfg.Workload.ArrivalRate = 4
+	cfg.Workload.MeanSessionSec = 15
+	cfg.Workload.Curve = mamut.LoadBurst
+	cfg.Workload.BurstFactor = 3
+	cfg.Workload.BurstStartSec = 10
+	cfg.Workload.BurstEndSec = 25
+	cfg.Queue = mamut.ServeQueueConfig{Capacity: 32, DeadlineSec: 8}
+	return cfg
+}
+
+// TestQueuedFleetGolden pins the summary output of a queued-admission
+// burst run to a committed golden, byte-identical across worker counts,
+// both dispatchers and shard counts: the admission pipeline preserves
+// the repo's determinism contract.
+func TestQueuedFleetGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "queue64.golden")
+	outputs := map[string][]byte{}
+	for _, variant := range []struct {
+		name     string
+		dispatch mamut.ServeDispatchMode
+		workers  int
+		shards   int
+	}{
+		{"indexed_w1", mamut.DispatchIndexed, 1, 0},
+		{"indexed_w4", mamut.DispatchIndexed, 4, 0},
+		{"scan_w1", mamut.DispatchScan, 1, 0},
+		// Sharded variants assert against the same golden bytes: queue
+		// admission runs in the serial phase only, so sharding stays
+		// bit-identical with the queue on.
+		{"indexed_w1_s4", mamut.DispatchIndexed, 1, 4},
+		{"indexed_w4_s4", mamut.DispatchIndexed, 4, 4},
+		{"scan_w1_s4", mamut.DispatchScan, 1, 4},
+	} {
+		cfg := queuedSmokeConfig()
+		cfg.Dispatch = variant.dispatch
+		cfg.Workers = variant.workers
+		cfg.Shards = variant.shards
+		var buf bytes.Buffer
+		if err := run(&buf, cfg, runOpts{format: "summary", workers: cfg.Workers}); err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		outputs[variant.name] = buf.Bytes()
+	}
+	for name, out := range outputs {
+		if !bytes.Equal(out, outputs["indexed_w1"]) {
+			t.Fatalf("output of %s differs from indexed_w1", name)
+		}
+	}
+	if !bytes.Contains(outputs["indexed_w1"], []byte("queue: ")) {
+		t.Fatalf("summary missing the queue line:\n%s", outputs["indexed_w1"])
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, outputs["indexed_w1"], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden written to %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(outputs["indexed_w1"], want) {
+		t.Errorf("output diverged from committed golden %s:\n got:\n%s\nwant:\n%s",
+			golden, outputs["indexed_w1"], want)
+	}
+}
+
 func TestFleetSmokeGolden(t *testing.T) {
 	for _, policy := range mamut.ServePolicyNames() {
 		t.Run(policy, func(t *testing.T) {

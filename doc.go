@@ -120,6 +120,35 @@
 // SplitArrivals is the workload-side counterpart, dealing one arrival
 // stream into interleaved per-region substreams.
 //
+// # Queued admission
+//
+// With ServeConfig.Queue the fleet stops dropping arrivals that find no
+// capacity: the arrival path is an explicit admission pipeline with a
+// bounded fleet-level waiting room. Each decision point — every
+// arrival, every elastic epoch, and a final pass at the workload
+// horizon — first syncs the fleet (step engines, fold departures), then
+// drops queue entries whose per-entry deadline passed, then re-attempts
+// admission for the waiting entries against the freed capacity: FIFO
+// within a configurable resolution-class priority order (HR-first by
+// default), strictly head-of-line, with draining servers admitting
+// nothing. The outcome taxonomy splits four ways — admitted, queued
+// (then re-admitted or deadline-dropped), and rejected, which keeps
+// meaning capacity-rejected only (queue full, or queueing off) — so
+// Offered == Admitted + Rejected + QueueDropped always holds, and
+// latency becomes a first-class metric: queue-wait and
+// time-to-first-frame p50/p95/p99 stream through the same fixed-bin
+// sketches as FPS, with a time-decayed recent-backlog view alongside.
+// Policies can observe the backlog (queue depth, capacity, oldest wait)
+// through the optional ServeBacklogObserver extension. The pipeline
+// runs entirely in the dispatcher's serial phase, so queued runs stay
+// bit-identical across worker counts, both dispatchers and all shard
+// counts — and with the queue off the dispatcher byte-reproduces the
+// pre-queue output. Under a burst workload (ServeWorkload LoadBurst —
+// a flash-crowd spike window) the deadline-bounded queue strictly beats
+// drop-on-full on completed and SLO-attained sessions at equal fleet
+// size, because capacity that frees after the spike serves arrivals
+// drop-on-full lost forever (test-pinned).
+//
 // # Cross-session knowledge reuse
 //
 // Short-lived sessions are where a real transcoding service lives — and

@@ -246,3 +246,86 @@ func TestDecayedMeanMergeEdges(t *testing.T) {
 		t.Fatal("merging different time constants should fail")
 	}
 }
+
+// TestDecayedMeanMergeEmptyRightExact: x⊔empty must leave x bit-exact —
+// the merge early-returns before touching the anchor or the sums, so
+// folding idle shards can never perturb a stream.
+func TestDecayedMeanMergeEmptyRightExact(t *testing.T) {
+	a, _ := NewDecayedMean(10)
+	a.Add(1, 3.25)
+	a.Add(4, 7.5)
+	before := *a
+	empty, _ := NewDecayedMean(10)
+	if err := a.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if *a != before {
+		t.Fatalf("x⊔empty changed the receiver: %+v vs %+v", *a, before)
+	}
+}
+
+// TestDecayedMeanMergeEqualAnchors: when both sides are anchored at the
+// same instant no decay factor is applied at all — the merge is plain
+// IEEE addition of the weighted sums, so the result is exact, not
+// merely within tolerance.
+func TestDecayedMeanMergeEqualAnchors(t *testing.T) {
+	a, _ := NewDecayedMean(10)
+	b, _ := NewDecayedMean(10)
+	a.Add(5, 3)
+	b.Add(5, 7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// (3+7)/(1+1): both sums are small integers, so the mean is exact.
+	if a.Value() != 5 {
+		t.Fatalf("equal-anchor merge: got %v, want exactly 5", a.Value())
+	}
+	// Still exact with unequal weights on each side.
+	c, _ := NewDecayedMean(10)
+	d, _ := NewDecayedMean(10)
+	c.Add(2, 1)
+	c.Add(2, 1)
+	c.Add(2, 1)
+	d.Add(2, 9)
+	if err := c.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("equal-anchor merge: got %v, want exactly (1+1+1+9)/4 = 3", c.Value())
+	}
+}
+
+// TestDecayedMeanMergeTinyTauUnderflow: with a tiny time constant the
+// decay factor exp(-dt/tau) underflows to exactly 0.0, so the older
+// side vanishes completely and the merge equals the newer side bit for
+// bit — underflow degrades to "only the newest samples matter", never
+// to NaN or garbage.
+func TestDecayedMeanMergeTinyTauUnderflow(t *testing.T) {
+	const tau = 1e-12
+	old, _ := NewDecayedMean(tau)
+	old.Add(0, 1e300) // enormous, but about to be decayed to zero
+	fresh, _ := NewDecayedMean(tau)
+	fresh.Add(1, 42)
+	want := *fresh
+	if err := old.Merge(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if *old != want {
+		t.Fatalf("underflow merge: got %+v, want the newer side exactly %+v", *old, want)
+	}
+	if old.Value() != 42 {
+		t.Fatalf("underflow merge: value %v, want exactly 42", old.Value())
+	}
+	// The mirrored merge (newer receiver, older argument) must agree —
+	// the older side decays to zero on either side of the call.
+	fresh2, _ := NewDecayedMean(tau)
+	fresh2.Add(1, 42)
+	old2, _ := NewDecayedMean(tau)
+	old2.Add(0, 1e300)
+	if err := fresh2.Merge(old2); err != nil {
+		t.Fatal(err)
+	}
+	if *fresh2 != want {
+		t.Fatalf("mirrored underflow merge: got %+v, want %+v", *fresh2, want)
+	}
+}

@@ -233,15 +233,9 @@ func mamutController(ctrl transcode.Controller) *core.Controller {
 // every decision and migration lands at a deterministic point of the one
 // merged event order.
 func (d *dispatcher) epoch(t float64) error {
-	if err := d.sweepTo(t); err != nil {
+	if err := d.syncPoint(t); err != nil {
 		return err
 	}
-	if d.store != nil {
-		if err := d.foldDepartures(); err != nil {
-			return err
-		}
-	}
-	d.foldStats(t)
 	// The scan dispatcher rebuilds states per arrival rather than
 	// incrementally; sync them here so epoch decisions read the same
 	// occupancy/power floats the indexed path maintains.
@@ -268,6 +262,13 @@ func (d *dispatcher) epoch(t float64) error {
 		}
 	}
 	d.retireEmpty()
+	if d.queueOn {
+		// Epoch boundaries are queue decision points: autoscale may just
+		// have added capacity, and retirement/draining changed the
+		// admittable set (draining servers report Full, so the queue
+		// never lands on them).
+		return d.queueStep(t)
+	}
 	return nil
 }
 

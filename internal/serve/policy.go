@@ -56,6 +56,34 @@ type Policy interface {
 	Place(req SessionRequest, servers []ServerState) int
 }
 
+// FleetState is fleet-level context a policy may observe in addition to
+// the per-server states: the admission-queue backlog at the placement
+// instant. Zero-valued when queueing is off.
+type FleetState struct {
+	// Now is the placement instant (seconds since run start).
+	Now float64
+	// QueueDepth is the number of entries waiting in the admission
+	// queue, before the placement being decided.
+	QueueDepth int
+	// QueueCapacity is the configured waiting-room bound (0 = queueing
+	// off).
+	QueueCapacity int
+	// QueueOldestWaitSec is how long the oldest waiting entry has been
+	// queued; 0 when the queue is empty.
+	QueueOldestWaitSec float64
+}
+
+// BacklogObserver is an optional extension a Policy may implement to see
+// fleet-level backlog state. When the admission queue is enabled the
+// dispatcher calls ObserveFleet immediately before every Place decision
+// (on both dispatch paths — for indexed placement the observation goes
+// to the policy value backing the index); with queueing off it is never
+// called. Observations arrive in decision order, so a deterministic
+// policy stays deterministic.
+type BacklogObserver interface {
+	ObserveFleet(FleetState)
+}
+
 // Policy registry names.
 const (
 	// PolicyRoundRobin rotates blindly through the fleet, ignoring

@@ -25,7 +25,11 @@ import "mamut/internal/heaps"
 // FleetIndexer is an optional Policy extension: a policy that can place
 // arrivals from an incrementally maintained fleet index. All built-in
 // policies implement it; the dispatcher falls back to the O(servers)
-// scan for policies that don't.
+// scan for policies that don't. Backlog observation (BacklogObserver) is
+// orthogonal: when the admission queue is on, the dispatcher delivers
+// ObserveFleet to the policy value itself even when the placement goes
+// through the index, so an indexed policy sees the same queue state the
+// scan path would.
 type FleetIndexer interface {
 	Policy
 	// NewFleetIndex builds the policy's index over the fleet's initial

@@ -145,6 +145,13 @@ type Config struct {
 	// sessions are live-migrated off, and it leaves the fleet once
 	// empty.
 	Drain []DrainEvent
+	// Queue bounds the fleet-level admission waiting room (see
+	// admission.go): arrivals that find no server wait — FIFO within a
+	// resolution-class priority order — and are re-attempted at every
+	// decision point (arrivals, elastic epochs, the workload horizon)
+	// until a server frees up or their deadline passes. The zero value
+	// keeps the drop-on-full behaviour and byte-identical output.
+	Queue QueueConfig
 	// Progress observes completed per-server simulations.
 	Progress experiments.ProgressFunc
 }
@@ -182,6 +189,16 @@ type SessionOutcome struct {
 	// Measured reports whether the arrival fell inside the measurement
 	// window (at or after warm-up).
 	Measured bool
+	// Queued reports the arrival entered the admission queue instead of
+	// being placed (or rejected) immediately; queueing enabled only.
+	Queued bool
+	// QueueWaitSec is the wait between arrival and admission — 0 for
+	// direct admissions, and for entries that never got a server.
+	QueueWaitSec float64
+	// Dropped reports a queued arrival that left the queue without a
+	// server (deadline passed, or the run ended while it waited). Such
+	// arrivals are counted in Result.QueueDropped, never in Rejected.
+	Dropped bool
 	// The remaining fields are zero for rejected arrivals.
 	// Frames is the number of frames actually transcoded.
 	Frames int
@@ -245,7 +262,8 @@ type ClassDistributions struct {
 	// [0, 2x target), so P50/P95/P99 locate the slow tail of the class.
 	FPS QuantileSummary
 	// DurationSec sketches each measured session's actual residency time
-	// (departure minus arrival, contention-stretched).
+	// (departure minus admission, contention-stretched; admission is the
+	// arrival instant unless the session waited in the queue).
 	DurationSec QuantileSummary
 }
 
@@ -266,6 +284,10 @@ type WindowedStats struct {
 	// UtilizationPct decays over the fleet occupancy sampled at each
 	// arrival decision (resident sessions as a share of fleet capacity).
 	UtilizationPct float64
+	// QueueDepth decays over the admission-queue backlog sampled at each
+	// arrival decision — the recent waiting-room pressure. Zero when
+	// queueing is off.
+	QueueDepth float64
 }
 
 // Result is the steady-state outcome of a service run.
@@ -278,11 +300,30 @@ type Result struct {
 	DurationSec float64
 	WarmupSec   float64
 	// Offered / Admitted / Rejected count every arrival of the run;
-	// RejectionPct is Rejected/Offered.
+	// RejectionPct is Rejected/Offered. Rejected means capacity-rejected
+	// at arrival — with queueing enabled, an arrival that waits in the
+	// queue is later counted admitted or queue-dropped, never rejected,
+	// and Offered == Admitted + Rejected + QueueDropped always holds.
 	Offered      int
 	Admitted     int
 	Rejected     int
 	RejectionPct float64
+	// Queued / QueueAdmitted / QueueDropped account the admission
+	// queue's activity when Config.Queue enables it (all zero
+	// otherwise): arrivals that entered the waiting room, entries later
+	// admitted from it, and entries dropped without a server (deadline
+	// passed, or still waiting at the end of the run).
+	Queued        int
+	QueueAdmitted int
+	QueueDropped  int
+	// QueueDroppedPct is QueueDropped/Offered — the complement of
+	// RejectionPct in the loss accounting (an offered session is lost
+	// either at the door or in the queue, never both).
+	QueueDroppedPct float64
+	// AvgQueueWaitSec averages the admission wait over the measured
+	// admitted sessions; direct admissions wait 0, so this is the
+	// fleet-wide added latency, not the per-queued-session wait.
+	AvgQueueWaitSec float64
 	// MeasuredOffered and MeasuredRejected restrict the accounting to
 	// the measurement window; MeasuredRejectionPct is their ratio.
 	MeasuredOffered      int
@@ -307,6 +348,15 @@ type Result struct {
 	// per-session FPS and residency time for each class's measured
 	// sessions.
 	HRDist, LRDist ClassDistributions
+	// QueueWaitDist and TTFFDist are the latency-first views a queued
+	// service is judged by (zero-valued when queueing is off):
+	// QueueWaitDist sketches the admission wait of every measured
+	// admitted session (0 for direct admissions), TTFFDist the
+	// time-to-first-frame — first transcoded frame minus arrival, i.e.
+	// queue wait plus the first frame's contention-stretched service
+	// time — of every measured session that departed.
+	QueueWaitDist QuantileSummary
+	TTFFDist      QuantileSummary
 	// Windowed reports time-decayed views of SLO attainment, rejection
 	// and utilization — the service "lately" rather than on average.
 	Windowed WindowedStats
@@ -377,6 +427,14 @@ func (c Config) withDefaults() Config {
 			}
 		}
 	}
+	if c.Queue.Capacity > 0 {
+		if c.Queue.DeadlineSec == 0 {
+			c.Queue.DeadlineSec = DefaultQueueDeadlineSec
+		}
+		if c.Queue.Priority == "" {
+			c.Queue.Priority = QueuePrioHRFirst
+		}
+	}
 	c.Workload = c.Workload.withDefaults()
 	return c
 }
@@ -437,6 +495,9 @@ func (c Config) Validate() error {
 	if c.Knowledge != nil && !c.KnowledgeReuse {
 		return fmt.Errorf("serve: imported knowledge requires KnowledgeReuse")
 	}
+	if err := c.Queue.validate(); err != nil {
+		return err
+	}
 	if c.Elastic() {
 		if c.Approach == experiments.MonoAgent {
 			// Live migration needs the controller's full decision state;
@@ -487,6 +548,8 @@ type departRec struct {
 	server                                    int
 	res                                       video.Resolution
 	arriveAt                                  float64
+	startAt                                   float64 // admission time (== arriveAt unless queued)
+	firstFrameAt                              float64 // first frame completion (0 = none observed; queueing only)
 	endAt                                     float64 // actual, contention-stretched departure time
 	measured                                  bool
 	frames                                    int
@@ -547,13 +610,19 @@ type fleetServer struct {
 
 // residentRec is the arrival-side half of a future departRec. seq is the
 // catalog sequence the session plays — needed to rebuild its content
-// process shell if the session is live-migrated.
+// process shell if the session is live-migrated. startAt is when the
+// session was actually admitted (after its queue wait, if any);
+// firstFrameAt records the first frame completion the OnFrame hook
+// observes (queued runs only — both survive live migration with the
+// record).
 type residentRec struct {
-	reqID    int
-	res      video.Resolution
-	seq      string
-	arriveAt float64
-	measured bool
+	reqID        int
+	res          video.Resolution
+	seq          string
+	arriveAt     float64
+	startAt      float64
+	firstFrameAt float64
+	measured     bool
 }
 
 // harvestEntry identifies one future knowledge contribution. seeded is
@@ -571,11 +640,13 @@ type harvestEntry struct {
 
 // addSession builds the arrival's source and controller from its fixed
 // per-session seeds and registers it on the server's engine as a live
-// arrival at its dispatch time. seeded is the knowledge snapshot the
-// controller factory warm-starts from (nil when knowledge reuse is off
-// or the class is still cold), recorded for delta harvesting.
+// arrival at its admission time startAt (the arrival instant, unless
+// the session waited in the admission queue first). seeded is the
+// knowledge snapshot the controller factory warm-starts from (nil when
+// knowledge reuse is off or the class is still cold), recorded for
+// delta harvesting.
 func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video.Catalog,
-	factory experiments.ControllerFactory, seeded *core.Snapshot) error {
+	factory experiments.ControllerFactory, seeded *core.Snapshot, startAt float64) error {
 	seq, err := catalog.Get(req.Sequence)
 	if err != nil {
 		return err
@@ -604,7 +675,7 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		BandwidthMbps: req.BandwidthMbps,
 		TargetFPS:     cfg.Workload.TargetFPS,
 		FrameBudget:   req.Frames,
-		StartAtSec:    req.ArriveAtSec,
+		StartAtSec:    startAt,
 		// No trace retention: every aggregate folds streamingly at the
 		// departure event, and the engine discards departed sessions, so
 		// server memory is O(resident sessions) however long the run.
@@ -618,6 +689,9 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		res:      req.Res,
 		seq:      req.Sequence,
 		arriveAt: req.ArriveAtSec,
+		startAt:  startAt,
+		// Measurement keys off the arrival, not the admission: a session
+		// that arrived in-window is measured however long it queued.
 		measured: req.ArriveAtSec >= cfg.WarmupSec,
 	}
 	fs.cur++
@@ -822,6 +896,21 @@ type dispatcher struct {
 	utilWin      *metrics.DecayedMean
 	pendingStats []departRec
 	outcomes     []SessionOutcome // only when cfg.RetainSessions
+
+	// Queued admission (cfg.Queue.Capacity > 0 only; see admission.go):
+	// the waiting room in arrival order, its outcome counters, the
+	// queue-wait and time-to-first-frame sketches, the decayed backlog
+	// view, and the optional backlog-observing side of the policy.
+	queueOn       bool
+	queue         []queueEntry
+	qOrder        []int // scratch for queueOrder
+	queuedTotal   int
+	queueAdmitted int
+	queueDropped  int
+	qwSum         float64
+	qwH, ttffH    *metrics.Histogram
+	depthWin      *metrics.DecayedMean
+	backlogObs    BacklogObserver
 }
 
 // classAgg streams the per-class session sums ClassStats is derived from.
@@ -924,6 +1013,29 @@ func (d *dispatcher) init(arrivals int) error {
 			return err
 		}
 	}
+	if q := cfg.Queue; q.Capacity > 0 {
+		d.queueOn = true
+		d.queue = make([]queueEntry, 0, q.Capacity)
+		var err error
+		// Queue wait is bounded by the deadline; time-to-first-frame adds
+		// the first frame's contention-stretched service time on top, so
+		// its range doubles the deadline (the tails clamp).
+		if d.qwH, err = metrics.NewHistogram(0, q.DeadlineSec, 256); err != nil {
+			return err
+		}
+		if d.ttffH, err = metrics.NewHistogram(0, 2*(q.DeadlineSec+1), 512); err != nil {
+			return err
+		}
+		if d.depthWin, err = metrics.NewDecayedMean(tau); err != nil {
+			return err
+		}
+		// Backlog observation is a queued-admission feature: with the
+		// queue off the pipeline never consults the fleet state, keeping
+		// the pre-queue arrival path untouched.
+		if ob, ok := d.pol.(BacklogObserver); ok {
+			d.backlogObs = ob
+		}
+	}
 	if cfg.RetainSessions {
 		d.outcomes = make([]SessionOutcome, arrivals)
 	}
@@ -941,47 +1053,44 @@ func (d *dispatcher) init(arrivals int) error {
 	return nil
 }
 
-// place steps the fleet to the arrival instant, folds any departures
-// into the knowledge store and the streaming aggregates, and dispatches
-// the arrival.
+// place runs the admission pipeline for one arrival: sync the fleet to
+// the arrival instant, run a queue decision point against the freed
+// capacity, then dispatch the arrival itself — admit, queue, or reject
+// (see admission.go for the pipeline and the outcome taxonomy).
 func (d *dispatcher) place(req SessionRequest) error {
-	if err := d.sweepTo(req.ArriveAtSec); err != nil {
+	t := req.ArriveAtSec
+	if err := d.syncPoint(t); err != nil {
 		return err
 	}
-	// Fold the departures the fleet surfaced on the way to the arrival —
-	// in arrival-ID order — into the knowledge store and the streaming
-	// aggregates, before this arrival's placement and (possibly warm)
-	// controller construction.
-	if d.store != nil {
-		if err := d.foldDepartures(); err != nil {
+	if d.queueOn {
+		// Waiting entries get first claim on the capacity this sweep's
+		// departures freed — the arrival may not overtake them.
+		if err := d.queueStep(t); err != nil {
 			return err
 		}
 	}
-	d.foldStats(req.ArriveAtSec)
 	choice := -1
-	if d.liveSrv > 0 {
-		// With the whole fleet decommissioned (drain events can do that)
-		// there is nothing to consult — and the round-robin modulus would
-		// see an empty live view.
-		if d.idx != nil {
-			choice = d.idx.Place(req)
-		} else {
-			choice = d.pol.Place(req, d.refreshScanStates(req))
+	if !d.queueOn || len(d.queue) == 0 {
+		// A non-empty queue means its head just failed to place at this
+		// very instant: the arrival goes behind it, no placement attempt.
+		var err error
+		if choice, err = d.choose(req, t); err != nil {
+			return err
 		}
 	}
-	if choice < -1 || choice >= len(d.states) {
-		// A deliberate reject is -1 and every other return must be a
-		// real server index: folding garbage into the rejection count
-		// would silently corrupt RejectionPct for buggy policies.
-		return fmt.Errorf("serve: policy %q violated the placement contract: returned %d for arrival %d (valid: -1 to reject, 0..%d to place)",
-			d.pol.Name(), choice, req.ID, len(d.states)-1)
-	}
 	d.offered++
-	measured := req.ArriveAtSec >= d.cfg.WarmupSec
+	measured := t >= d.cfg.WarmupSec
 	if measured {
 		d.measOffered++
 	}
-	if choice == -1 || d.states[choice].Full() {
+	switch {
+	case choice >= 0:
+		if err := d.admit(req, choice, t, measured); err != nil {
+			return err
+		}
+	case d.queueOn && len(d.queue) < d.cfg.Queue.Capacity:
+		d.enqueue(req, measured)
+	default:
 		d.rejected++
 		if measured {
 			d.measRejected++
@@ -989,49 +1098,10 @@ func (d *dispatcher) place(req SessionRequest) error {
 		if d.outcomes != nil {
 			d.outcomes[req.ID] = SessionOutcome{Req: req, Server: -1, Measured: measured}
 		}
-		d.sampleWindows(req.ArriveAtSec, true)
+		d.sampleWindows(t, true)
 		return nil
 	}
-	fs := d.servers[choice]
-	if fs.eng == nil {
-		if err := d.createEngine(choice); err != nil {
-			return err
-		}
-	}
-	// Clone the class's current snapshot: the store keeps merging
-	// afterwards, so the admission needs a frozen copy that serves
-	// both as the controller's seed (via the WarmStart closure) and
-	// as the baseline its departing contribution is measured against.
-	var seedSnap *core.Snapshot
-	if d.store != nil {
-		if s := d.store.Seed(req.Res); s != nil {
-			cp := s.Clone()
-			seedSnap = &cp
-			d.seeded++
-		}
-	}
-	d.pendingSeed = seedSnap
-	if err := fs.addSession(req, d.cfg, d.catalog, d.factory, seedSnap); err != nil {
-		return err
-	}
-	d.admitted++
-	if measured {
-		d.measured++
-	}
-	d.admitCount[choice]++
-	d.active++
-	if d.outcomes != nil {
-		// The departure fold completes the entry (frames, averages, SLO).
-		d.outcomes[req.ID] = SessionOutcome{Req: req, Server: choice, Measured: measured}
-	}
-	if d.indexed {
-		d.refreshState(choice)
-		// The admission scheduled an arrival event at this very instant
-		// on the server's engine; re-key it so the next sweep steps the
-		// engine through the session start.
-		d.scheduleServer(choice)
-	}
-	d.sampleWindows(req.ArriveAtSec, false)
+	d.sampleWindows(t, false)
 	return nil
 }
 
@@ -1042,6 +1112,9 @@ func (d *dispatcher) sampleWindows(t float64, rejected bool) {
 		d.rejWin.Add(t, 100)
 	} else {
 		d.rejWin.Add(t, 0)
+	}
+	if d.queueOn {
+		d.depthWin.Add(t, float64(len(d.queue)))
 	}
 	capacity := float64(d.liveSrv * d.cfg.MaxSessionsPerServer)
 	if capacity > 0 {
@@ -1073,7 +1146,10 @@ func (d *dispatcher) foldStats(t float64) {
 // (when retained) its outcome entry.
 func (d *dispatcher) foldDepart(r departRec, t float64) {
 	sloMet := r.avgFPS >= d.sloFPS
-	lo, hi := r.arriveAt, r.endAt
+	// Busy time starts at admission (startAt), not arrival: a queued
+	// session occupied no server while it waited. With queueing off the
+	// two instants coincide.
+	lo, hi := r.startAt, r.endAt
 	if lo < d.cfg.WarmupSec {
 		lo = d.cfg.WarmupSec
 	}
@@ -1107,7 +1183,17 @@ func (d *dispatcher) foldDepart(r departRec, t float64) {
 	agg.sumFPS += r.avgFPS
 	agg.sumPSNR += r.avgPSNR
 	fpsH.Add(r.avgFPS)
-	durH.Add(r.endAt - r.arriveAt)
+	durH.Add(r.endAt - r.startAt)
+	if d.queueOn {
+		// Time-to-first-frame: from the user's arrival (not admission) to
+		// the first frame completion; a session that never completed a
+		// frame is charged its whole span.
+		ttff := r.endAt - r.arriveAt
+		if r.firstFrameAt > 0 {
+			ttff = r.firstFrameAt - r.arriveAt
+		}
+		d.ttffH.Add(ttff)
+	}
 	if sloMet {
 		d.sloWin.Add(t, 100)
 	} else {
@@ -1254,6 +1340,18 @@ func (d *dispatcher) createEngine(i int) error {
 		// equal-time completions share one meter reading, so streaming
 		// integration reproduces the retired sorted-trace replay bitwise.
 		fs.power.Add(obs.Time, obs.PowerW)
+		if d.queueOn && obs.FrameIndex == 0 {
+			// First frame of a session: record the instant for the
+			// time-to-first-frame fold at departure. Per-server state
+			// only, so the hook stays shard-safe; the record (and the
+			// stamp) migrates with the session. The zero-check keeps an
+			// earlier stamp authoritative if frame numbering ever
+			// restarts (e.g. after a migration).
+			if rec, ok := fs.resident[obs.SessionID]; ok && rec.firstFrameAt == 0 {
+				rec.firstFrameAt = obs.Time
+				fs.resident[obs.SessionID] = rec
+			}
+		}
 	})
 	eng.OnSessionEnd(func(end transcode.SessionEnd) {
 		if end.Res == video.HR {
@@ -1273,6 +1371,8 @@ func (d *dispatcher) createEngine(i int) error {
 			server:       i,
 			res:          rec.res,
 			arriveAt:     rec.arriveAt,
+			startAt:      rec.startAt,
+			firstFrameAt: rec.firstFrameAt,
 			endAt:        end.Time,
 			measured:     rec.measured,
 			frames:       end.Result.Frames,
@@ -1308,11 +1408,7 @@ func (d *dispatcher) createEngine(i int) error {
 			}
 			return
 		}
-		d.active--
-		d.pendingStats = append(d.pendingStats, dr)
-		if d.indexed {
-			d.refreshState(i)
-		}
+		d.applyDeparture(dr)
 		if fs.harvest != nil {
 			if entry, ok := fs.harvest[end.SessionID]; ok {
 				d.pending = append(d.pending, entry)
@@ -1321,6 +1417,18 @@ func (d *dispatcher) createEngine(i int) error {
 		}
 	})
 	return nil
+}
+
+// applyDeparture applies one departure's global side to the dispatcher:
+// the active count, the stats batch and (indexed) the server's dispatch
+// state. Shared by the inline OnSessionEnd path and the shard serial-
+// phase reconciliation — both must fold a departure identically.
+func (d *dispatcher) applyDeparture(dr departRec) {
+	d.active--
+	d.pendingStats = append(d.pendingStats, dr)
+	if d.indexed {
+		d.refreshState(dr.server)
+	}
 }
 
 // foldDepartures folds every departure the fleet has surfaced since the
@@ -1361,6 +1469,22 @@ func (d *dispatcher) foldDepartures() error {
 // engines free of shared state.
 func (d *dispatcher) finish() (*Result, error) {
 	cfg := d.cfg
+	if d.queueOn {
+		// Final decision point at the horizon: departures between the
+		// last arrival and the end of the run free capacity the queue is
+		// still entitled to. Whatever cannot admit here drops — nothing
+		// runs the pipeline after the horizon. (Park-invariance makes the
+		// extra sweep exact, and only queued runs take this pass, so the
+		// queue-off byte-identity is untouched.)
+		horizon := cfg.Workload.DurationSec
+		if err := d.syncPoint(horizon); err != nil {
+			return nil, err
+		}
+		if err := d.queueStep(horizon); err != nil {
+			return nil, err
+		}
+		d.flushQueue()
+	}
 	for _, fs := range d.servers {
 		fs.draining = true
 	}
@@ -1424,6 +1548,20 @@ func (d *dispatcher) buildResult() (*Result, error) {
 		SLOAttainedPct: d.sloWin.Value(),
 		RejectionPct:   d.rejWin.Value(),
 		UtilizationPct: d.utilWin.Value(),
+	}
+	if d.queueOn {
+		res.Queued = d.queuedTotal
+		res.QueueAdmitted = d.queueAdmitted
+		res.QueueDropped = d.queueDropped
+		if res.Offered > 0 {
+			res.QueueDroppedPct = 100 * float64(res.QueueDropped) / float64(res.Offered)
+		}
+		if res.Measured > 0 {
+			res.AvgQueueWaitSec = d.qwSum / float64(res.Measured)
+		}
+		res.QueueWaitDist = quantiles(d.qwH)
+		res.TTFFDist = quantiles(d.ttffH)
+		res.Windowed.QueueDepth = d.depthWin.Value()
 	}
 
 	winLen := horizon - cfg.WarmupSec

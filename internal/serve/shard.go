@@ -202,11 +202,7 @@ func (d *dispatcher) sweepShards(t float64) error {
 	// counts, so coalescing the per-departure refreshes is invisible.
 	for _, sh := range d.shards {
 		for _, dr := range sh.departs {
-			d.active--
-			d.pendingStats = append(d.pendingStats, dr)
-			if d.indexed {
-				d.refreshState(dr.server)
-			}
+			d.applyDeparture(dr)
 		}
 		sh.departs = sh.departs[:0]
 		if len(sh.harvest) > 0 {

@@ -23,6 +23,13 @@
 // restores it for Config.Knowledge, warm-starting a later fleet from an
 // earlier run's experience (see knowledge_io.go).
 //
+// With Config.Queue arrivals that find no capacity wait in a bounded
+// fleet-level admission queue instead of being rejected: FIFO within a
+// resolution-class priority order, per-entry deadline drop, re-admission
+// at departures, elastic epochs and the horizon, with queue-wait and
+// time-to-first-frame streaming as first-class latency metrics (see
+// admission.go for the pipeline and the outcome taxonomy).
+//
 // Metrics stream. Every aggregate — per-server power, busy time, class
 // statistics, FPS/duration quantile sketches, time-decayed window
 // means — folds into constant-size accumulators (internal/metrics) at
@@ -106,6 +113,12 @@ const (
 	// LoadRamp ramps the rate linearly from the base rate to
 	// base*RampEndFactor over the run, modelling a traffic surge.
 	LoadRamp LoadCurve = "ramp"
+	// LoadBurst holds the base rate except inside the window
+	// [BurstStartSec, BurstEndSec), where the rate jumps to
+	// base*BurstFactor — a flash-crowd spike. The shape the admission
+	// queue exists for: capacity that frees after the spike can still
+	// serve what arrived during it.
+	LoadBurst LoadCurve = "burst"
 )
 
 // Workload describes the offered load: a stochastic session
@@ -140,6 +153,13 @@ type Workload struct {
 	// RampEndFactor is the final/base rate ratio of LoadRamp.
 	// DefaultRampEndFactor when 0.
 	RampEndFactor float64
+	// BurstFactor is the burst/base rate ratio of LoadBurst.
+	// DefaultBurstFactor when 0.
+	BurstFactor float64
+	// BurstStartSec and BurstEndSec bound the LoadBurst spike window
+	// [start, end). When both are 0 the window defaults to the second
+	// quarter of the run: [DurationSec/4, DurationSec/2).
+	BurstStartSec, BurstEndSec float64
 	// Trace, when non-empty, is replayed verbatim (sorted by arrival
 	// time) instead of sampling the stochastic process; the fields above
 	// are ignored except DurationSec, which defaults to the last arrival
@@ -156,6 +176,7 @@ const (
 	DefaultMinSessionSec  = 5.0
 	DefaultCurveAmplitude = 0.5
 	DefaultRampEndFactor  = 2.0
+	DefaultBurstFactor    = 3.0
 )
 
 // withDefaults fills zero fields in.
@@ -186,6 +207,15 @@ func (w Workload) withDefaults() Workload {
 	}
 	if w.RampEndFactor == 0 {
 		w.RampEndFactor = DefaultRampEndFactor
+	}
+	if w.Curve == LoadBurst {
+		if w.BurstFactor == 0 {
+			w.BurstFactor = DefaultBurstFactor
+		}
+		if w.BurstStartSec == 0 && w.BurstEndSec == 0 {
+			w.BurstStartSec = w.DurationSec / 4
+			w.BurstEndSec = w.DurationSec / 2
+		}
 	}
 	if len(w.Trace) > 0 && w.DurationSec == 0 {
 		last := 0.0
@@ -230,6 +260,13 @@ func (w Workload) Validate() error {
 	}
 	switch w.Curve {
 	case LoadConstant, LoadRamp:
+	case LoadBurst:
+		if w.BurstFactor <= 0 {
+			return fmt.Errorf("serve: burst factor %g must be positive", w.BurstFactor)
+		}
+		if w.BurstStartSec < 0 || w.BurstEndSec <= w.BurstStartSec {
+			return fmt.Errorf("serve: burst window [%g, %g) must satisfy 0 <= start < end", w.BurstStartSec, w.BurstEndSec)
+		}
 	case LoadDiurnal:
 		if w.CurveAmplitude < 0 || w.CurveAmplitude >= 1 {
 			return fmt.Errorf("serve: diurnal amplitude %g outside [0,1)", w.CurveAmplitude)
@@ -262,6 +299,11 @@ func (w Workload) rateAt(t float64) float64 {
 	case LoadRamp:
 		frac := t / w.DurationSec
 		return w.ArrivalRate * (1 + (w.RampEndFactor-1)*frac)
+	case LoadBurst:
+		if t >= w.BurstStartSec && t < w.BurstEndSec {
+			return w.ArrivalRate * w.BurstFactor
+		}
+		return w.ArrivalRate
 	default:
 		return w.ArrivalRate
 	}
@@ -275,6 +317,11 @@ func (w Workload) peakRate() float64 {
 	case LoadRamp:
 		if w.RampEndFactor > 1 {
 			return w.ArrivalRate * w.RampEndFactor
+		}
+		return w.ArrivalRate
+	case LoadBurst:
+		if w.BurstFactor > 1 {
+			return w.ArrivalRate * w.BurstFactor
 		}
 		return w.ArrivalRate
 	default:

@@ -107,6 +107,64 @@ func TestGenerateArrivalsLoadCurves(t *testing.T) {
 	if _, err := GenerateArrivals(diurnal, cat, 3); err != nil {
 		t.Fatalf("diurnal generation failed: %v", err)
 	}
+
+	burst := base
+	burst.Curve = LoadBurst
+	burst.BurstFactor = 5
+	burst.BurstStartSec = 100
+	burst.BurstEndSec = 200
+	bursted, err := GenerateArrivals(burst, cat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 100s spike window at 5x should hold clearly more arrivals than
+	// any same-length off-window stretch at the base rate.
+	inWindow, before := 0, 0
+	for _, r := range bursted {
+		switch {
+		case r.ArriveAtSec >= 100 && r.ArriveAtSec < 200:
+			inWindow++
+		case r.ArriveAtSec < 100:
+			before++
+		}
+	}
+	if inWindow <= 2*before {
+		t.Errorf("burst window not spiking: %d arrivals inside vs %d before", inWindow, before)
+	}
+}
+
+func TestBurstCurveShape(t *testing.T) {
+	w := Workload{ArrivalRate: 2, DurationSec: 100, Curve: LoadBurst,
+		BurstFactor: 3, BurstStartSec: 10, BurstEndSec: 30}.withDefaults()
+	for _, tc := range []struct {
+		t    float64
+		want float64
+	}{
+		{0, 2}, {9.99, 2}, // before the window: base rate
+		{10, 6}, {29.99, 6}, // inside [start, end): spiked
+		{30, 2}, {99, 2}, // at and after end: base rate again
+	} {
+		if got := w.rateAt(tc.t); got != tc.want {
+			t.Errorf("rateAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if got := w.peakRate(); got != 6 {
+		t.Errorf("peakRate() = %g, want 6", got)
+	}
+
+	// Defaults: factor 3, window = the second quarter of the run.
+	d := Workload{ArrivalRate: 1, DurationSec: 400, Curve: LoadBurst}.withDefaults()
+	if d.BurstFactor != DefaultBurstFactor || d.BurstStartSec != 100 || d.BurstEndSec != 200 {
+		t.Errorf("burst defaults: factor %g window [%g, %g), want %g and [100, 200)",
+			d.BurstFactor, d.BurstStartSec, d.BurstEndSec, DefaultBurstFactor)
+	}
+
+	// A sub-unity factor is a dip, not a spike: peak stays the base rate.
+	dip := Workload{ArrivalRate: 2, DurationSec: 100, Curve: LoadBurst,
+		BurstFactor: 0.5, BurstStartSec: 10, BurstEndSec: 30}.withDefaults()
+	if got := dip.peakRate(); got != 2 {
+		t.Errorf("dip peakRate() = %g, want the base rate 2", got)
+	}
 }
 
 func TestGenerateArrivalsTraceReplay(t *testing.T) {
@@ -156,6 +214,9 @@ func TestWorkloadValidate(t *testing.T) {
 		{ArrivalRate: 1, DurationSec: 10, HRFraction: 2},
 		{ArrivalRate: 1, DurationSec: 10, Curve: "bogus"},
 		{ArrivalRate: 1, DurationSec: 10, Curve: LoadDiurnal, CurveAmplitude: 1.5},
+		{ArrivalRate: 1, DurationSec: 10, Curve: LoadBurst, BurstFactor: -1},
+		{ArrivalRate: 1, DurationSec: 10, Curve: LoadBurst, BurstStartSec: 5, BurstEndSec: 2},
+		{ArrivalRate: 1, DurationSec: 10, Curve: LoadBurst, BurstStartSec: -1, BurstEndSec: 4},
 		{Trace: []SessionRequest{{ArriveAtSec: -1, Frames: 10}}},
 		{Trace: []SessionRequest{{ArriveAtSec: 0, Frames: 0}}},
 	}

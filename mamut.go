@@ -385,6 +385,19 @@ type (
 	// ServeDrainEvent schedules one server decommission: stop admitting,
 	// live-migrate the residents off, remove the server once empty.
 	ServeDrainEvent = serve.DrainEvent
+	// ServeQueueConfig bounds the fleet-level admission waiting room
+	// (ServeConfig.Queue): capacity, per-entry deadline, and the
+	// resolution-class priority order.
+	ServeQueueConfig = serve.QueueConfig
+	// ServeQueuePriority orders the admission queue across resolution
+	// classes (FIFO within a class).
+	ServeQueuePriority = serve.QueuePriority
+	// ServeFleetState is the fleet-level (queue backlog) context a
+	// backlog-observing policy sees before each placement decision.
+	ServeFleetState = serve.FleetState
+	// ServeBacklogObserver marks a PlacementPolicy that observes queue
+	// backlog state (ServeFleetState) before each placement decision.
+	ServeBacklogObserver = serve.BacklogObserver
 	// MAMUTSnapshot is the portable learned state of one MAMUT controller
 	// (all three agents' Q-tables, visit counts and transition models) —
 	// the unit of cross-session knowledge reuse.
@@ -437,10 +450,25 @@ const (
 	LoadConstant = serve.LoadConstant
 	LoadDiurnal  = serve.LoadDiurnal
 	LoadRamp     = serve.LoadRamp
+	LoadBurst    = serve.LoadBurst
+)
+
+// Admission-queue priority orders (ServeQueueConfig.Priority), plus the
+// deadline the queue falls back to when none is configured.
+const (
+	QueuePrioHRFirst = serve.QueuePrioHRFirst
+	QueuePrioLRFirst = serve.QueuePrioLRFirst
+	QueuePrioFIFO    = serve.QueuePrioFIFO
+
+	DefaultQueueDeadlineSec = serve.DefaultQueueDeadlineSec
 )
 
 // ServePolicyNames lists the registered placement policies.
 func ServePolicyNames() []string { return serve.PolicyNames() }
+
+// ServeQueuePriorities lists the admission-queue priority orders in
+// deterministic order.
+func ServeQueuePriorities() []ServeQueuePriority { return serve.QueuePriorities() }
 
 // RunService executes one service simulation: generate (or replay) the
 // arrival process, dispatch every arrival across the fleet, simulate each
