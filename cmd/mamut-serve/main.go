@@ -55,6 +55,20 @@
 // queue-wait and time-to-first-frame p50/p95/p99. With the queue off,
 // output is byte-identical to earlier releases.
 //
+// With -faults the run injects a deterministic fault plan into the
+// fleet: crash@T:SRV kills a server (in-flight frame state lost),
+// degrade@A-B:SRV:F cuts its power cap to F of nominal for the window,
+// and blip@A-B:SRV takes it out of service for the window with sessions
+// intact. Crash-interrupted sessions re-enter the -queue waiting room as
+// recovery entries (per-class -fault-backoff/-fault-retries/
+// -fault-deadline bounds; -fault-drop loses them instead, the baseline),
+// restoring from their last -fault-checkpoint snapshot or cold-starting
+// warm-seeded from the knowledge store. Fault runs stay byte-identical
+// for any -workers, both dispatchers and all -shards; with no plan the
+// output byte-matches fault-free builds. The summary gains "faults:" and
+// "recovery:" lines (MTTR, recovery-latency quantiles, lost work,
+// availability).
+//
 // Metrics stream: power, utilization, class statistics and FPS/duration
 // quantile sketches fold into constant-size accumulators as sessions
 // depart, so memory stays O(active sessions) over arbitrarily long
@@ -123,6 +137,13 @@ func main() {
 		queueCap   = flag.Int("queue", 0, "admission-queue capacity (0 = off: reject on full, the historical behavior)")
 		queueDL    = flag.Float64("queue-deadline", 0, "admission-queue per-entry deadline (seconds; 0 = default 30)")
 		queuePrio  = flag.String("queue-prio", "", "admission-queue priority order: "+strings.Join(queuePrioNames(), "|")+" (empty = hr-first)")
+		faults     = flag.String("faults", "", "fault plan: comma-separated crash@T:SRV, degrade@A-B:SRV:FACTOR, blip@A-B:SRV events")
+		faultCkpt  = flag.Float64("fault-checkpoint", 0, "periodic session-checkpoint interval for crash recovery (seconds; 0 = no checkpoints)")
+		faultDrop  = flag.Bool("fault-drop", false, "drop crash-interrupted sessions instead of recovering them (the baseline)")
+		faultBack  = flag.Float64("fault-backoff", 0, "recovery retry backoff, both classes (seconds; 0 = default 2)")
+		faultRetry = flag.Int("fault-retries", 0, "recovery placement attempts per session, both classes (0 = default 5)")
+		faultDL    = flag.Float64("fault-deadline", 0, "recovery deadline from crash to restore, both classes (seconds; 0 = default 30)")
+		faultStall = flag.Float64("fault-stall", 0, "restore stall charged to a recovered session's interrupted frame (seconds; 0 = default 0.5)")
 		slo        = flag.Float64("slo", 0.95, "session SLO: required avg FPS as a fraction of the target")
 		knowledge  = flag.Bool("knowledge", false, "share learned knowledge across sessions (KaaS-style warm starts; mamut approach only)")
 		rebalance  = flag.Bool("rebalance", false, "live-migrate sessions away from power hotspots every epoch")
@@ -185,6 +206,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *faults == "" && (setFlags["fault-checkpoint"] || setFlags["fault-drop"] || setFlags["fault-backoff"] ||
+		setFlags["fault-retries"] || setFlags["fault-deadline"] || setFlags["fault-stall"]) {
+		fatal(fmt.Errorf("-fault-* flags require a -faults plan"))
+	}
+	faultPlan, err := mamut.ParseServeFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := mamut.ServeConfig{
 		Servers:              *servers,
 		MaxSessionsPerServer: *admission,
@@ -223,6 +252,16 @@ func main() {
 			Capacity:    *queueCap,
 			DeadlineSec: *queueDL,
 			Priority:    mamut.ServeQueuePriority(*queuePrio),
+		},
+		Faults: mamut.ServeFaultConfig{
+			Plan:          faultPlan,
+			CheckpointSec: *faultCkpt,
+			Recovery: mamut.ServeFaultRecovery{
+				Drop:     *faultDrop,
+				HR:       mamut.ServeFaultRecoveryClass{BackoffSec: *faultBack, RetryMax: *faultRetry, DeadlineSec: *faultDL},
+				LR:       mamut.ServeFaultRecoveryClass{BackoffSec: *faultBack, RetryMax: *faultRetry, DeadlineSec: *faultDL},
+				StallSec: *faultStall,
+			},
 		},
 	}
 	opts := runOpts{
@@ -445,6 +484,15 @@ func printSummary(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 		fmt.Fprintf(w, "elastic: %d migrations, +%d/-%d servers (peak %d in service)\n",
 			r.Migrations, r.ServersAdded, r.ServersRemoved, r.PeakServers)
 	}
+	if cfg.Faults.Enabled() {
+		// Fault-injecting configs only, same byte-stability discipline.
+		fmt.Fprintf(w, "faults: %d injected, %d crashed servers, availability %.2f%%; interrupted=%d recovered=%d lost=%d\n",
+			r.FaultsInjected, r.ServersCrashed, r.AvailabilityPct,
+			r.Interrupted, r.Recovered, r.Lost)
+		fmt.Fprintf(w, "recovery: MTTR %.2fs, p50/p95/p99 %.2f/%.2f/%.2f s, lost work %.1fs\n",
+			r.MTTRSec, r.RecoveryLatency.P50, r.RecoveryLatency.P95, r.RecoveryLatency.P99,
+			r.LostWorkSec)
+	}
 	for _, cls := range []struct {
 		name  string
 		stats mamut.ServeClassStats
@@ -484,6 +532,9 @@ func printQuantiles(w io.Writer, cfg mamut.ServeConfig, r *mamut.ServeResult) {
 		r.Windowed.TauSec, r.Windowed.SLOAttainedPct, r.Windowed.RejectionPct, r.Windowed.UtilizationPct)
 	if cfg.Queue.Capacity > 0 {
 		fmt.Fprintf(w, ", queue depth %.1f", r.Windowed.QueueDepth)
+	}
+	if cfg.Faults.Enabled() {
+		fmt.Fprintf(w, ", availability %.1f%%", r.Windowed.AvailabilityPct)
 	}
 	fmt.Fprintln(w)
 }

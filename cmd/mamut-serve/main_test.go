@@ -213,6 +213,94 @@ func TestQueuedFleetGolden(t *testing.T) {
 	}
 }
 
+// chaosSmokeConfig mirrors the CI chaos smoke step's flags — a loaded
+// 32-server fleet with a crash, a degrade window and a blip landing
+// mid-run, periodic checkpoints and queue-based recovery on:
+//
+//	mamut-serve -servers 32 -admission 4 -arrival-rate 8 -duration 40 \
+//	    -warmup 10 -mean-session 10 -approach heuristic -seed 7 \
+//	    -queue 64 -faults crash@20:1,degrade@25-40:2:0.5,blip@30-36:3 \
+//	    -fault-checkpoint 10 -quantiles
+func chaosSmokeConfig() mamut.ServeConfig {
+	cfg := fleetSmokeConfig(mamut.PolicyLeastLoaded)
+	cfg.Servers = 32
+	cfg.MaxSessionsPerServer = 4
+	cfg.Workload.ArrivalRate = 8
+	cfg.Queue = mamut.ServeQueueConfig{Capacity: 64}
+	cfg.Faults = mamut.ServeFaultConfig{
+		Plan: []mamut.ServeFaultEvent{
+			{Kind: mamut.FaultCrash, Server: 1, AtSec: 20},
+			{Kind: mamut.FaultDegrade, Server: 2, AtSec: 25, EndSec: 40, Factor: 0.5},
+			{Kind: mamut.FaultBlip, Server: 3, AtSec: 30, EndSec: 36},
+		},
+		CheckpointSec: 10,
+	}
+	return cfg
+}
+
+// TestFaultEquivalence pins the summary output of a chaos run — crash,
+// degrade and blip faults with checkpointed queue-based recovery — to a
+// committed golden, byte-identical across worker counts, both
+// dispatchers and shard counts: fault injection and recovery land only
+// in the serial control phase, preserving the repo's determinism
+// contract.
+func TestFaultEquivalence(t *testing.T) {
+	golden := filepath.Join("testdata", "chaos32.golden")
+	outputs := map[string][]byte{}
+	for _, variant := range []struct {
+		name     string
+		dispatch mamut.ServeDispatchMode
+		workers  int
+		shards   int
+	}{
+		{"indexed_w1", mamut.DispatchIndexed, 1, 0},
+		{"indexed_w4", mamut.DispatchIndexed, 4, 0},
+		{"scan_w1", mamut.DispatchScan, 1, 0},
+		// Sharded variants assert against the same golden bytes: faults
+		// strike between parallel windows, so sharding stays
+		// bit-identical under chaos.
+		{"indexed_w1_s4", mamut.DispatchIndexed, 1, 4},
+		{"indexed_w4_s4", mamut.DispatchIndexed, 4, 4},
+		{"scan_w1_s4", mamut.DispatchScan, 1, 4},
+	} {
+		cfg := chaosSmokeConfig()
+		cfg.Dispatch = variant.dispatch
+		cfg.Workers = variant.workers
+		cfg.Shards = variant.shards
+		var buf bytes.Buffer
+		if err := run(&buf, cfg, runOpts{format: "summary", workers: cfg.Workers, quantiles: true}); err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		outputs[variant.name] = buf.Bytes()
+	}
+	for name, out := range outputs {
+		if !bytes.Equal(out, outputs["indexed_w1"]) {
+			t.Fatalf("output of %s differs from indexed_w1", name)
+		}
+	}
+	if !bytes.Contains(outputs["indexed_w1"], []byte("faults: ")) {
+		t.Fatalf("summary missing the faults line:\n%s", outputs["indexed_w1"])
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, outputs["indexed_w1"], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden written to %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(outputs["indexed_w1"], want) {
+		t.Errorf("output diverged from committed golden %s:\n got:\n%s\nwant:\n%s",
+			golden, outputs["indexed_w1"], want)
+	}
+}
+
 func TestFleetSmokeGolden(t *testing.T) {
 	for _, policy := range mamut.ServePolicyNames() {
 		t.Run(policy, func(t *testing.T) {

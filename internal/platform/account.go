@@ -58,14 +58,15 @@ func (a *LoadAccount) Add(l SessionLoad) error {
 }
 
 // Remove releases a load previously admitted with Add (or installed by
-// Update). The caller must pass the same load value; Remove panics on a
-// load that cannot have been admitted, since the account would silently
-// corrupt. When the last load leaves, the float aggregates reset to exact
+// Update). The caller must pass the same load value; Remove returns an
+// error — without touching the aggregates — on a load that cannot have
+// been admitted, since completing the removal would silently corrupt the
+// account. When the last load leaves, the float aggregates reset to exact
 // zero so rounding drift cannot accumulate across load epochs.
-func (a *LoadAccount) Remove(l SessionLoad) {
+func (a *LoadAccount) Remove(l SessionLoad) error {
 	vf, err := a.check(l)
 	if err != nil || a.active < 1 {
-		panic(fmt.Sprintf("platform: removing load %+v never admitted (%v)", l, err))
+		return fmt.Errorf("platform: removing load %+v never admitted (%v)", l, err)
 	}
 	a.active--
 	a.totalThreads -= l.Threads
@@ -73,7 +74,7 @@ func (a *LoadAccount) Remove(l SessionLoad) {
 		a.totalThreads = 0
 		a.demand = 0
 		a.dynNorm = 0
-		return
+		return nil
 	}
 	a.demand -= l.Speedup
 	a.dynNorm -= vf * l.Speedup
@@ -83,6 +84,7 @@ func (a *LoadAccount) Remove(l SessionLoad) {
 	if a.dynNorm < 0 {
 		a.dynNorm = 0
 	}
+	return nil
 }
 
 // Update replaces a resident load with a new shape in one step. A no-op
@@ -95,7 +97,9 @@ func (a *LoadAccount) Update(old, new SessionLoad) error {
 	if _, err := a.check(new); err != nil {
 		return err
 	}
-	a.Remove(old)
+	if err := a.Remove(old); err != nil {
+		return err
+	}
 	return a.Add(new)
 }
 

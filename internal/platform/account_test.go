@@ -64,7 +64,9 @@ func TestLoadAccountMatchesEvaluateUnderChurn(t *testing.T) {
 			resident = append(resident, l)
 		case rng.Float64() < 0.5:
 			i := rng.Intn(len(resident))
-			a.Remove(resident[i])
+			if err := a.Remove(resident[i]); err != nil {
+				t.Fatal(err)
+			}
 			resident = append(resident[:i], resident[i+1:]...)
 		default:
 			i := rng.Intn(len(resident))
@@ -99,7 +101,9 @@ func TestLoadAccountEmptyResetsExactly(t *testing.T) {
 	// final removal must reset them to exact zero.
 	rng.Shuffle(len(resident), func(i, j int) { resident[i], resident[j] = resident[j], resident[i] })
 	for _, l := range resident {
-		a.Remove(l)
+		if err := a.Remove(l); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if a.Active() != 0 || a.TotalThreads() != 0 {
 		t.Fatalf("account not empty: active %d, threads %d", a.Active(), a.TotalThreads())
@@ -151,6 +155,40 @@ func TestLoadAccountValidation(t *testing.T) {
 	}
 	if a.UsefulDemand() != demand {
 		t.Error("no-op update changed the demand aggregate")
+	}
+}
+
+func TestLoadAccountRemoveNeverAdmitted(t *testing.T) {
+	srv, err := NewServer(DefaultSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := srv.NewLoadAccount()
+	good := SessionLoad{Threads: 4, FreqGHz: 2.6, Speedup: 2.5}
+	// Removing from an empty account is an error, not a panic, and must
+	// leave the aggregates untouched.
+	if err := a.Remove(good); err == nil {
+		t.Fatal("Remove from empty account succeeded")
+	}
+	if a.Active() != 0 || a.TotalThreads() != 0 {
+		t.Fatalf("failed Remove mutated the account: active %d threads %d", a.Active(), a.TotalThreads())
+	}
+	if err := a.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	// A malformed load is rejected the same way with a resident load.
+	if err := a.Remove(SessionLoad{Threads: 0, FreqGHz: 2.6, Speedup: 1}); err == nil {
+		t.Fatal("Remove of invalid load succeeded")
+	}
+	if a.Active() != 1 || a.TotalThreads() != 4 {
+		t.Fatalf("failed Remove mutated the account: active %d threads %d", a.Active(), a.TotalThreads())
+	}
+	// An Update whose old load is malformed propagates the Remove error.
+	if err := a.Update(SessionLoad{Threads: 0, FreqGHz: 2.6, Speedup: 1}, good); err == nil {
+		t.Fatal("Update with never-admitted old load succeeded")
+	}
+	if err := a.Remove(good); err != nil {
+		t.Fatal(err)
 	}
 }
 

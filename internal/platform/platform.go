@@ -283,6 +283,21 @@ func NewServer(spec Spec, rng *rand.Rand) (*Server, error) {
 // Spec returns the server's hardware description.
 func (srv *Server) Spec() Spec { return srv.spec }
 
+// SetSpec swaps the server's hardware description live, after validating
+// the replacement. It models operational events that change a machine's
+// envelope mid-run — a firmware power-cap cut, thermal derating, or the
+// cap's later restoration. Resident loads are untouched: callers that
+// cache spec-derived values (frequency ladders, power budgets) must
+// refresh them, and callers integrating power over time must settle the
+// running segment at the old spec before swapping.
+func (srv *Server) SetSpec(spec Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	srv.spec = spec
+	return nil
+}
+
 // capacityCores returns the machine's effective compute capacity in
 // core-equivalents when `total` logical CPUs are occupied: one core per
 // thread up to the physical core count, then each extra sibling thread

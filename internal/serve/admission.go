@@ -122,13 +122,31 @@ func (q QueueConfig) validate() error {
 	return nil
 }
 
-// queueEntry is one arrival waiting for capacity. The queue slice keeps
-// arrival order (IDs ascend), so FIFO-within-class needs no sorting.
+// queueEntry is one arrival waiting for capacity — or, under fault
+// injection, a crash-interrupted session waiting to be restored. The
+// queue slice keeps entry order (ascending arrival IDs for ordinary
+// entries; recovery entries join at the tail at their crash instant, so
+// FIFO means first-queued-first within a class either way) and
+// FIFO-within-class needs no sorting.
 type queueEntry struct {
 	req      SessionRequest
 	measured bool
 	deadline float64
-	admitted bool // scratch flag for the current attempt round
+	settled  bool // scratch flag for the current attempt round (admitted, restored or dropped)
+
+	// Recovery fields (crash recovery only; see faults.go). rec is the
+	// victim's resident bookkeeping at the crash, snap its last
+	// checkpoint payload (nil = cold restart), seeded its warm-start
+	// baseline carried across the restore, attempt/eligibleAt the
+	// retry-with-backoff state, and crashAt the instant the MTTR clock
+	// started.
+	recovery   bool
+	rec        residentRec
+	snap       []byte
+	seeded     *core.Snapshot
+	attempt    int
+	eligibleAt float64
+	crashAt    float64
 }
 
 // syncPoint steps the fleet to the decision instant t and folds every
@@ -177,8 +195,17 @@ func (d *dispatcher) dropExpired(t float64) {
 	d.queue = kept
 }
 
-// dropEntry accounts one queue entry leaving without a server.
+// dropEntry accounts one queue entry leaving without a server: an
+// ordinary arrival is queue-dropped; a recovery entry is a lost session
+// (it was admitted long ago — the crash, not the waiting room, took it).
 func (d *dispatcher) dropEntry(e queueEntry) {
+	if e.recovery {
+		d.lostSess++
+		if d.outcomes != nil {
+			d.outcomes[e.req.ID].Lost = true
+		}
+		return
+	}
 	d.queueDropped++
 	if d.outcomes != nil {
 		d.outcomes[e.req.ID].Dropped = true
@@ -187,35 +214,60 @@ func (d *dispatcher) dropEntry(e queueEntry) {
 
 // admitQueued attempts admission for the waiting entries in priority
 // order (FIFO within class). The attempt is strictly head-of-line: the
-// first entry the policy cannot place ends the round, so a later entry
-// never overtakes an earlier one of the same or a preferred class.
+// first eligible entry the policy cannot place ends the round, so a
+// later entry never overtakes an earlier one of the same or a preferred
+// class. Recovery entries differ in two ways: one backing off between
+// retries is skipped without holding the line (it declined this round;
+// nothing is overtaking it), and one that exhausts its retry budget is
+// dropped in place — the entry is gone, so ending the round for it
+// would starve everything behind a permanently unplaceable session.
 // Draining servers admit nothing (their states report Full), and with
 // the whole fleet decommissioned there is nothing to consult.
 func (d *dispatcher) admitQueued(t float64) error {
 	if len(d.queue) == 0 || d.liveSrv == 0 {
 		return nil
 	}
-	admitted := 0
+	settled := 0
 	for _, qi := range d.queueOrder() {
 		e := &d.queue[qi]
+		if e.recovery && e.eligibleAt > t {
+			continue
+		}
 		choice, err := d.choose(e.req, t)
 		if err != nil {
 			return err
 		}
 		if choice < 0 {
+			if e.recovery {
+				e.attempt++
+				cl := d.recoveryClass(e.req.Res)
+				if e.attempt >= cl.RetryMax {
+					d.dropEntry(*e)
+					e.settled = true
+					settled++
+					continue
+				}
+				e.eligibleAt = t + cl.BackoffSec
+			}
 			break
 		}
-		if err := d.admit(e.req, choice, t, e.measured); err != nil {
-			return err
+		if e.recovery {
+			if err := d.restoreSession(e, choice, t); err != nil {
+				return err
+			}
+		} else {
+			if err := d.admit(e.req, choice, t, e.measured); err != nil {
+				return err
+			}
+			d.queueAdmitted++
 		}
-		e.admitted = true
-		d.queueAdmitted++
-		admitted++
+		e.settled = true
+		settled++
 	}
-	if admitted > 0 {
+	if settled > 0 {
 		kept := d.queue[:0]
 		for _, e := range d.queue {
-			if !e.admitted {
+			if !e.settled {
 				kept = append(kept, e)
 			}
 		}
@@ -332,7 +384,7 @@ func (d *dispatcher) admit(req SessionRequest, choice int, startAt float64, meas
 		}
 	}
 	d.pendingSeed = seedSnap
-	if err := fs.addSession(req, d.cfg, d.catalog, d.factory, seedSnap, startAt); err != nil {
+	if _, err := fs.addSession(req, d.cfg, d.catalog, d.factory, seedSnap, startAt); err != nil {
 		return err
 	}
 	d.admitted++

@@ -331,7 +331,7 @@ func (d *dispatcher) autoscale() {
 // admission, seeded by its index exactly like an initial server).
 func (d *dispatcher) addServer() {
 	i := len(d.servers)
-	fs := &fleetServer{resident: make(map[int]residentRec)}
+	fs := &fleetServer{resident: make(map[int]residentRec), budgetW: d.budget}
 	if d.store != nil {
 		fs.harvest = make(map[int]harvestEntry)
 	}

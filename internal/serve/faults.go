@@ -1,0 +1,926 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mamut/internal/core"
+	"mamut/internal/experiments"
+	"mamut/internal/platform"
+	"mamut/internal/transcode"
+	"mamut/internal/video"
+	"mamut/internal/xrand"
+)
+
+// Fault injection and session recovery: a deterministic fault plan
+// (Config.Faults) injects server failures into the serial control phase
+// of a service run, and a recovery pipeline built from the existing
+// machinery — PR 7's session freeze/restore, PR 9's waiting room, the
+// knowledge store's warm starts — brings interrupted sessions back.
+//
+// Three fault kinds:
+//
+//   - crash: the server dies at AtSec and never returns. Every resident
+//     session's in-flight state is lost; sessions restore from their
+//     last periodic checkpoint (Config.Faults.CheckpointSec) through the
+//     admission queue, or are lost with the server when Recovery.Drop is
+//     set.
+//   - degrade: the server's firmware power cap is cut to Factor of
+//     nominal for the window [AtSec, EndSec) — the platform spec is
+//     swapped live (platform.Server.SetSpec via transcode.Reprofile),
+//     and the dispatcher's per-server power budget shrinks with it, so
+//     power-aware placement and the hotspot rebalancer steer load away
+//     for the duration.
+//   - blip: the server is unavailable for [AtSec, EndSec) — it admits
+//     nothing and is skipped by rebalancing — but returns with its
+//     sessions intact (their frames kept transcoding; only the control
+//     plane lost it).
+//
+// Recovery is a queue-of-last-resort pipeline: a crash victim re-enters
+// the PR 9 waiting room as a *recovery entry* carrying its last
+// checkpoint snapshot (or nothing, for a cold restart seeded from the
+// knowledge store), with per-resolution-class retry/backoff and a
+// recovery deadline. Re-admission restores the snapshot on the chosen
+// server — charging Recovery.StallSec to the interrupted frame, like a
+// migration stall — or re-admits the session from scratch when no
+// snapshot exists. When post-fault capacity cannot hold the backlog the
+// waiting room sheds from the tail of the class-priority order, so
+// low-priority recoveries are lost before high-priority ones.
+//
+// Every fault lands at a precomputed control moment of the one merged
+// event order (see controlMoments), strictly in the serial phase, so
+// fault runs keep the repo invariant: byte-identical results across
+// worker counts, both dispatchers and all shard counts — and with no
+// plan configured, no fault code runs and output byte-matches the
+// pre-fault goldens.
+
+// Fault-recovery defaults (applied per resolution class when a plan is
+// configured without Recovery.Drop).
+const (
+	// DefaultFaultBackoffSec is the wait between failed re-admission
+	// attempts of a recovery entry.
+	DefaultFaultBackoffSec = 2.0
+	// DefaultFaultRetryMax bounds the placement attempts per recovery
+	// entry before it is lost.
+	DefaultFaultRetryMax = 5
+	// DefaultFaultDeadlineSec bounds the total time from crash to
+	// restore; an entry still waiting this long after its crash is lost.
+	DefaultFaultDeadlineSec = 30.0
+	// DefaultFaultRestoreStallSec is charged to a restored session's
+	// interrupted frame (state download and re-attachment), counting
+	// against its SLO like a migration stall.
+	DefaultFaultRestoreStallSec = 0.5
+)
+
+// FaultKind identifies one failure mode.
+type FaultKind string
+
+const (
+	// FaultCrash kills a server at AtSec: in-flight frame state is lost
+	// and the server never returns.
+	FaultCrash FaultKind = "crash"
+	// FaultDegrade cuts a server's power cap to Factor of nominal for
+	// [AtSec, EndSec).
+	FaultDegrade FaultKind = "degrade"
+	// FaultBlip makes a server unavailable for [AtSec, EndSec); it
+	// returns with its sessions intact.
+	FaultBlip FaultKind = "blip"
+)
+
+// FaultKinds lists the failure modes in deterministic order.
+func FaultKinds() []FaultKind { return []FaultKind{FaultCrash, FaultDegrade, FaultBlip} }
+
+// FaultEvent is one scheduled fault. Crash is a point event (EndSec and
+// Factor zero); degrade and blip are windows [AtSec, EndSec), and only
+// degrade carries a Factor.
+type FaultEvent struct {
+	// Kind is the failure mode.
+	Kind FaultKind
+	// Server is the victim's index in the initial fleet.
+	Server int
+	// AtSec is when the fault strikes.
+	AtSec float64
+	// EndSec closes the window for degrade/blip (exclusive); 0 for crash.
+	EndSec float64
+	// Factor is the degraded power cap as a fraction of nominal, in
+	// (0,1); 0 for the other kinds.
+	Factor float64
+}
+
+// String formats the event in the spec syntax ParseFaultPlan accepts, so
+// plans round-trip exactly.
+func (ev FaultEvent) String() string {
+	switch ev.Kind {
+	case FaultCrash:
+		return fmt.Sprintf("crash@%g:%d", ev.AtSec, ev.Server)
+	case FaultBlip:
+		return fmt.Sprintf("blip@%g-%g:%d", ev.AtSec, ev.EndSec, ev.Server)
+	default:
+		return fmt.Sprintf("degrade@%g-%g:%d:%g", ev.AtSec, ev.EndSec, ev.Server, ev.Factor)
+	}
+}
+
+// ParseFaultPlan parses a comma-separated fault plan in the -faults spec
+// syntax:
+//
+//	crash@T:SRV            server SRV dies at T
+//	blip@A-B:SRV           server SRV unavailable for [A,B)
+//	degrade@A-B:SRV:F      server SRV's power cap cut to F of nominal for [A,B)
+//
+// e.g. "crash@120:0,degrade@60-180:2:0.5,blip@90-95:1". The parse is
+// purely syntactic; Config.Validate applies the semantic rules (bounds,
+// overlaps, ordering against the horizon and fleet).
+func ParseFaultPlan(s string) ([]FaultEvent, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var plan []FaultEvent
+	for _, part := range strings.Split(s, ",") {
+		ev, err := parseFaultEvent(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		plan = append(plan, ev)
+	}
+	return plan, nil
+}
+
+// FormatFaultPlan renders a plan back into the spec syntax; the result
+// re-parses to an equal plan.
+func FormatFaultPlan(plan []FaultEvent) string {
+	parts := make([]string, len(plan))
+	for i, ev := range plan {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseFaultEvent parses one kind@spec entry.
+func parseFaultEvent(s string) (FaultEvent, error) {
+	var ev FaultEvent
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok || rest == "" {
+		return ev, fmt.Errorf("serve: fault %q: want kind@spec (e.g. crash@120:0)", s)
+	}
+	parts := strings.Split(rest, ":")
+	parseSrv := func(p string) error {
+		srv, err := strconv.Atoi(p)
+		if err != nil {
+			return fmt.Errorf("serve: fault %q: server index %q: %v", s, p, err)
+		}
+		if srv < 0 {
+			return fmt.Errorf("serve: fault %q: negative server index %d", s, srv)
+		}
+		ev.Server = srv
+		return nil
+	}
+	parseSec := func(p, what string) (float64, error) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return 0, fmt.Errorf("serve: fault %q: %s %q: %v", s, what, p, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("serve: fault %q: %s %q is not finite", s, what, p)
+		}
+		return v, nil
+	}
+	parseWindow := func(p string) error {
+		a, b, ok := strings.Cut(p, "-")
+		if !ok {
+			return fmt.Errorf("serve: fault %q: want a start-end window (e.g. 60-180)", s)
+		}
+		var err error
+		if ev.AtSec, err = parseSec(a, "window start"); err != nil {
+			return err
+		}
+		if ev.EndSec, err = parseSec(b, "window end"); err != nil {
+			return err
+		}
+		return nil
+	}
+	switch FaultKind(kind) {
+	case FaultCrash:
+		ev.Kind = FaultCrash
+		if len(parts) != 2 {
+			return ev, fmt.Errorf("serve: fault %q: want crash@T:SRV", s)
+		}
+		var err error
+		if ev.AtSec, err = parseSec(parts[0], "time"); err != nil {
+			return ev, err
+		}
+		if err := parseSrv(parts[1]); err != nil {
+			return ev, err
+		}
+	case FaultBlip:
+		ev.Kind = FaultBlip
+		if len(parts) != 2 {
+			return ev, fmt.Errorf("serve: fault %q: want blip@A-B:SRV", s)
+		}
+		if err := parseWindow(parts[0]); err != nil {
+			return ev, err
+		}
+		if err := parseSrv(parts[1]); err != nil {
+			return ev, err
+		}
+	case FaultDegrade:
+		ev.Kind = FaultDegrade
+		if len(parts) != 3 {
+			return ev, fmt.Errorf("serve: fault %q: want degrade@A-B:SRV:FACTOR", s)
+		}
+		if err := parseWindow(parts[0]); err != nil {
+			return ev, err
+		}
+		if err := parseSrv(parts[1]); err != nil {
+			return ev, err
+		}
+		var err error
+		if ev.Factor, err = parseSec(parts[2], "factor"); err != nil {
+			return ev, err
+		}
+	default:
+		return ev, fmt.Errorf("serve: fault %q: unknown kind %q (have %v)", s, kind, FaultKinds())
+	}
+	return ev, nil
+}
+
+// FaultRecoveryClass bounds one resolution class's recovery effort.
+type FaultRecoveryClass struct {
+	// BackoffSec is the wait between failed re-admission attempts.
+	// DefaultFaultBackoffSec when 0.
+	BackoffSec float64
+	// RetryMax bounds the placement attempts before the session is lost.
+	// DefaultFaultRetryMax when 0.
+	RetryMax int
+	// DeadlineSec bounds crash-to-restore; a session still waiting this
+	// long after its crash is lost. DefaultFaultDeadlineSec when 0.
+	DeadlineSec float64
+}
+
+// FaultRecovery configures what happens to sessions a crash interrupts.
+type FaultRecovery struct {
+	// Drop loses interrupted sessions with their server — the baseline
+	// the recovery pipeline is measured against. With Drop unset, crash
+	// victims re-enter the admission queue as recovery entries.
+	Drop bool
+	// HR and LR bound each class's recovery effort.
+	HR, LR FaultRecoveryClass
+	// StallSec is charged to a restored session's interrupted frame.
+	// DefaultFaultRestoreStallSec when 0.
+	StallSec float64
+}
+
+// FaultConfig schedules deterministic fault injection into a service
+// run. The zero value disables it entirely (no fault code runs and
+// output byte-matches fault-free builds).
+type FaultConfig struct {
+	// Plan is the fault schedule (see ParseFaultPlan for the CLI spec
+	// syntax). Empty disables fault injection.
+	Plan []FaultEvent
+	// CheckpointSec periodically freezes every resident session's state
+	// (transcode.EncodeSessionState) so crash victims restore from their
+	// last snapshot instead of restarting cold. 0 disables checkpoints:
+	// crash victims restart from scratch, warm-seeded from the knowledge
+	// store when Config.KnowledgeReuse is on.
+	CheckpointSec float64
+	// Recovery configures the crash-recovery pipeline.
+	Recovery FaultRecovery
+}
+
+// Enabled reports whether any fault is scheduled.
+func (f FaultConfig) Enabled() bool { return len(f.Plan) > 0 }
+
+// hasCrash reports whether the plan schedules at least one crash.
+func (f FaultConfig) hasCrash() bool {
+	for _, ev := range f.Plan {
+		if ev.Kind == FaultCrash {
+			return true
+		}
+	}
+	return false
+}
+
+// withDefaults resolves the zero recovery fields (plan configured only).
+func (f FaultConfig) withDefaults() FaultConfig {
+	if !f.Enabled() || f.Recovery.Drop {
+		return f
+	}
+	r := &f.Recovery
+	for _, cl := range []*FaultRecoveryClass{&r.HR, &r.LR} {
+		if cl.BackoffSec == 0 {
+			cl.BackoffSec = DefaultFaultBackoffSec
+		}
+		if cl.RetryMax == 0 {
+			cl.RetryMax = DefaultFaultRetryMax
+		}
+		if cl.DeadlineSec == 0 {
+			cl.DeadlineSec = DefaultFaultDeadlineSec
+		}
+	}
+	if r.StallSec == 0 {
+		r.StallSec = DefaultFaultRestoreStallSec
+	}
+	return f
+}
+
+// validate applies the semantic plan rules (after defaults): every event
+// in bounds, no overlapping windows or post-crash events per server, and
+// a recovery path that can actually run.
+func (f FaultConfig) validate(servers int, horizon float64, queueCapacity int) error {
+	if !f.Enabled() {
+		if f.CheckpointSec != 0 || f.Recovery != (FaultRecovery{}) {
+			return fmt.Errorf("serve: fault checkpoint/recovery set but no fault plan (fault injection disabled)")
+		}
+		return nil
+	}
+	if f.CheckpointSec < 0 {
+		return fmt.Errorf("serve: negative fault checkpoint interval %g", f.CheckpointSec)
+	}
+	for cls, cl := range map[string]FaultRecoveryClass{"HR": f.Recovery.HR, "LR": f.Recovery.LR} {
+		if cl.BackoffSec < 0 || cl.RetryMax < 0 || cl.DeadlineSec < 0 {
+			return fmt.Errorf("serve: negative %s fault-recovery bound (backoff %g, retries %d, deadline %g)",
+				cls, cl.BackoffSec, cl.RetryMax, cl.DeadlineSec)
+		}
+	}
+	if f.Recovery.StallSec < 0 {
+		return fmt.Errorf("serve: negative fault restore stall %g", f.Recovery.StallSec)
+	}
+	for _, ev := range f.Plan {
+		switch ev.Kind {
+		case FaultCrash, FaultDegrade, FaultBlip:
+		default:
+			return fmt.Errorf("serve: fault %v: unknown kind %q (have %v)", ev, ev.Kind, FaultKinds())
+		}
+		if ev.Server < 0 || ev.Server >= servers {
+			return fmt.Errorf("serve: fault %v: server %d outside initial fleet 0..%d", ev, ev.Server, servers-1)
+		}
+		if ev.AtSec < 0 || ev.AtSec >= horizon {
+			return fmt.Errorf("serve: fault %v: time %g outside the [0,%g) horizon", ev, ev.AtSec, horizon)
+		}
+		if ev.Kind == FaultCrash {
+			if ev.EndSec != 0 || ev.Factor != 0 {
+				return fmt.Errorf("serve: fault %v: crash takes no window or factor", ev)
+			}
+			continue
+		}
+		if ev.EndSec <= ev.AtSec || ev.EndSec > horizon {
+			return fmt.Errorf("serve: fault %v: window [%g,%g) must be ordered and end by the %g horizon",
+				ev, ev.AtSec, ev.EndSec, horizon)
+		}
+		if ev.Kind == FaultDegrade {
+			if ev.Factor <= 0 || ev.Factor >= 1 {
+				return fmt.Errorf("serve: fault %v: degrade factor %g outside (0,1)", ev, ev.Factor)
+			}
+		} else if ev.Factor != 0 {
+			return fmt.Errorf("serve: fault %v: blip takes no factor", ev)
+		}
+	}
+	// Per-server ordering: sort by start time and walk consecutive pairs.
+	// Nothing may follow a crash, windows may not overlap (touching —
+	// one window ending exactly where the next starts — is fine), and
+	// two events may not strike the same server at the same instant.
+	byServer := map[int][]FaultEvent{}
+	for _, ev := range f.Plan {
+		byServer[ev.Server] = append(byServer[ev.Server], ev)
+	}
+	for _, evs := range byServer {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].AtSec < evs[j].AtSec })
+		for i := 1; i < len(evs); i++ {
+			prev, next := evs[i-1], evs[i]
+			if prev.Kind == FaultCrash {
+				return fmt.Errorf("serve: fault %v: server %d already crashed at %g", next, next.Server, prev.AtSec)
+			}
+			if next.AtSec == prev.AtSec {
+				return fmt.Errorf("serve: faults %v and %v strike server %d at the same instant", prev, next, prev.Server)
+			}
+			if next.AtSec < prev.EndSec {
+				return fmt.Errorf("serve: faults %v and %v overlap on server %d", prev, next, prev.Server)
+			}
+		}
+	}
+	if f.hasCrash() && !f.Recovery.Drop && queueCapacity <= 0 {
+		return fmt.Errorf("serve: crash recovery re-enters sessions through the admission queue; set Queue.Capacity (or Recovery.Drop to lose interrupted sessions)")
+	}
+	return nil
+}
+
+// faultSnap is one session's last periodic checkpoint, keyed by arrival
+// ID in dispatcher.snaps; at holds the checkpoint instant for the
+// lost-work accounting.
+type faultSnap struct {
+	data []byte
+	at   float64
+}
+
+// recoveryClass resolves the recovery bounds for a resolution class.
+func (d *dispatcher) recoveryClass(res video.Resolution) FaultRecoveryClass {
+	if res == video.HR {
+		return d.cfg.Faults.Recovery.HR
+	}
+	return d.cfg.Faults.Recovery.LR
+}
+
+// --- control timeline -------------------------------------------------
+
+// momentKind orders control moments landing at the same instant: epochs
+// first (topology decisions precede faults, matching the pre-fault epoch
+// loop exactly when no faults are scheduled), then checkpoints (a
+// snapshot taken at the instant of a crash is taken *before* it — the
+// operator scheduling both deserves the save), then faults.
+type momentKind int
+
+const (
+	momentEpoch momentKind = iota
+	momentCheckpoint
+	momentFault
+)
+
+// controlMoment is one precomputed entry of the run's control timeline:
+// an elastic epoch, a periodic checkpoint pass, or a fault event edge
+// (start, or the end of a degrade/blip window).
+type controlMoment struct {
+	at    float64
+	kind  momentKind
+	ev    FaultEvent // momentFault only
+	start bool       // fault window start (crash counts as a start)
+}
+
+// controlMoments precomputes the run's whole control timeline: every
+// epoch instant (exactly the floats the retired epoch loop generated),
+// every checkpoint instant, and both edges of every fault window, sorted
+// by time with a fixed tie order. Run consumes the timeline interleaved
+// with the arrival stream — a moment due at an arrival's instant runs
+// before the arrival — so every control action lands at a deterministic
+// point of the one merged event order. An empty timeline reduces Run to
+// the plain arrival loop.
+func (d *dispatcher) controlMoments() []controlMoment {
+	var ms []controlMoment
+	horizon := d.cfg.Workload.DurationSec
+	if d.epochSec > 0 {
+		for k := 1; ; k++ {
+			t := float64(k) * d.epochSec
+			if t > horizon {
+				break
+			}
+			ms = append(ms, controlMoment{at: t, kind: momentEpoch})
+		}
+	}
+	if d.faultsOn {
+		if cp := d.cfg.Faults.CheckpointSec; cp > 0 {
+			for k := 1; ; k++ {
+				t := float64(k) * cp
+				if t > horizon {
+					break
+				}
+				ms = append(ms, controlMoment{at: t, kind: momentCheckpoint})
+			}
+		}
+		for _, ev := range d.cfg.Faults.Plan {
+			ms = append(ms, controlMoment{at: ev.AtSec, kind: momentFault, ev: ev, start: true})
+			if ev.Kind != FaultCrash {
+				ms = append(ms, controlMoment{at: ev.EndSec, kind: momentFault, ev: ev})
+			}
+		}
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.start != b.start {
+			// A window ending exactly where another starts on the same
+			// server releases it first.
+			return !a.start
+		}
+		return a.ev.Server < b.ev.Server
+	})
+	return ms
+}
+
+// control executes one timeline moment.
+func (d *dispatcher) control(m controlMoment) error {
+	switch m.kind {
+	case momentEpoch:
+		return d.epoch(m.at)
+	case momentCheckpoint:
+		return d.checkpointFleet(m.at)
+	default:
+		return d.applyFault(m)
+	}
+}
+
+// applyFault executes one fault edge: sync the fleet to the instant,
+// apply the fault, then run a queue decision point — a crash just
+// enqueued recovery entries that want the surviving capacity, and a
+// window end just returned some.
+func (d *dispatcher) applyFault(m controlMoment) error {
+	t := m.at
+	if err := d.syncPoint(t); err != nil {
+		return err
+	}
+	if m.start {
+		d.faultCount++
+	}
+	var err error
+	switch {
+	case m.ev.Kind == FaultCrash:
+		d.crashServer(t, m.ev.Server)
+	case m.ev.Kind == FaultBlip && m.start:
+		d.blipStart(m.ev.Server)
+	case m.ev.Kind == FaultBlip:
+		d.blipEnd(m.ev)
+	case m.start:
+		err = d.degradeStart(t, m.ev)
+	default:
+		err = d.degradeEnd(t, m.ev.Server)
+	}
+	if err != nil {
+		return err
+	}
+	if d.queueOn {
+		return d.queueStep(t)
+	}
+	return nil
+}
+
+// --- crash ------------------------------------------------------------
+
+// crashServer kills server srv at time t: every resident session is
+// interrupted (re-queued for recovery, or lost under Recovery.Drop), the
+// engine is torn down, and the server leaves the fleet for good. The
+// waiting room then sheds from the tail of the class-priority order if
+// the crash pushed it over capacity.
+func (d *dispatcher) crashServer(t float64, srv int) {
+	fs := d.servers[srv]
+	if fs.retired {
+		return // already out of the fleet (drained empty before the fault)
+	}
+	horizon := d.cfg.Workload.DurationSec
+	drop := d.cfg.Faults.Recovery.Drop || !d.queueOn
+	for _, id := range sessionsByArrival(fs, len(fs.resident)) {
+		rec := fs.resident[id]
+		d.interrupted++
+		// The span served before the crash is real busy time on this
+		// server; the restored remainder accrues on the new server.
+		lo, hi := rec.startAt, t
+		if lo < d.cfg.WarmupSec {
+			lo = d.cfg.WarmupSec
+		}
+		if hi > horizon {
+			hi = horizon
+		}
+		if hi > lo {
+			d.busy[srv] += hi - lo
+		}
+		snap, hasSnap := d.snaps[rec.reqID]
+		snapAt := rec.startAt
+		if hasSnap {
+			snapAt = snap.at
+			delete(d.snaps, rec.reqID)
+		}
+		if t > snapAt {
+			d.lostWorkSec += t - snapAt
+		}
+		if d.outcomes != nil {
+			d.outcomes[rec.reqID].Interrupted = true
+		}
+		if drop {
+			d.lostSess++
+			if d.outcomes != nil {
+				d.outcomes[rec.reqID].Lost = true
+			}
+			continue
+		}
+		cl := d.recoveryClass(rec.res)
+		var seeded *core.Snapshot
+		if fs.harvest != nil {
+			if he, ok := fs.harvest[id]; ok {
+				seeded = he.seeded
+			}
+		}
+		// The recovery entry joins the waiting room at the crash instant
+		// — behind the arrivals already waiting in its class, ahead of
+		// later ones — eligible immediately (backoff starts only after a
+		// failed attempt) and bounded by the class recovery deadline.
+		d.queue = append(d.queue, queueEntry{
+			req:        rec.req,
+			measured:   rec.measured,
+			deadline:   t + cl.DeadlineSec,
+			recovery:   true,
+			rec:        rec,
+			snap:       snap.data,
+			seeded:     seeded,
+			eligibleAt: t,
+			crashAt:    t,
+		})
+	}
+	// Tear the server down. The engine reference is dropped (its heap
+	// entries go stale through the +Inf key and are discarded on pop);
+	// the power integrator and counters keep their history for the final
+	// report. Crashes are reported separately from drain decommissions.
+	victims := fs.cur
+	fs.resident = make(map[int]residentRec)
+	if fs.harvest != nil {
+		fs.harvest = make(map[int]harvestEntry)
+	}
+	fs.cur, fs.hr, fs.lr = 0, 0, 0
+	d.active -= victims
+	if fs.eng != nil {
+		fs.eng = nil
+		if fs.sh != nil {
+			fs.sh.engines--
+		}
+	}
+	fs.spec = nil
+	fs.budgetW = d.budget
+	if fs.blipped {
+		fs.blipped = false
+		d.blippedCnt--
+	}
+	fs.decom = true
+	fs.retired = true
+	fs.crashed = true
+	d.liveSrv--
+	d.crashedSrv++
+	if d.indexed {
+		d.nextEvt[srv] = math.Inf(1)
+	}
+	if t < horizon {
+		d.unavailSec += horizon - t
+	}
+	d.refreshState(srv)
+	d.rebuildIndex()
+	// Shed if the recovery entries pushed the waiting room over
+	// capacity: drop from the tail of the class-priority order, so the
+	// lowest-priority latest entries go first (Fu & van der Schaar-style
+	// priority shedding when capacity < demand).
+	if over := len(d.queue) - d.cfg.Queue.Capacity; over > 0 && d.queueOn {
+		order := d.queueOrder()
+		doomed := make(map[int]bool, over)
+		for k := len(order) - 1; k >= 0 && over > 0; k-- {
+			doomed[order[k]] = true
+			over--
+		}
+		kept := d.queue[:0]
+		for qi := range d.queue {
+			if doomed[qi] {
+				d.dropEntry(d.queue[qi])
+			} else {
+				kept = append(kept, d.queue[qi])
+			}
+		}
+		d.queue = kept
+	}
+}
+
+// --- blip -------------------------------------------------------------
+
+// blipStart takes the server out of service for the window: it admits
+// nothing (its state reports Draining, hence Full) and rebalancing skips
+// it, but its engine keeps transcoding — the sessions never notice.
+func (d *dispatcher) blipStart(srv int) {
+	fs := d.servers[srv]
+	if fs.retired {
+		return
+	}
+	fs.blipped = true
+	d.blippedCnt++
+	d.refreshState(srv)
+}
+
+// blipEnd returns the server to service and charges the window to the
+// availability accounting.
+func (d *dispatcher) blipEnd(ev FaultEvent) {
+	fs := d.servers[ev.Server]
+	if !fs.blipped {
+		return // retired (or crashed) while blipped; nothing to restore
+	}
+	fs.blipped = false
+	d.blippedCnt--
+	d.unavailSec += ev.EndSec - ev.AtSec
+	d.refreshState(ev.Server)
+}
+
+// --- degrade ----------------------------------------------------------
+
+// degradedSpec derates a platform spec's power cap to factor of nominal,
+// floored just above idle so the spec stays valid.
+func degradedSpec(spec platform.Spec, factor float64) platform.Spec {
+	spec.PowerCapW *= factor
+	if floor := spec.IdlePowerW + 1; spec.PowerCapW < floor {
+		spec.PowerCapW = floor
+	}
+	return spec
+}
+
+// degradeStart cuts the server's power cap for the window: the engine's
+// platform spec is swapped live (future frame completions meter against
+// the derated cap) and the dispatcher's per-server power budget shrinks,
+// steering power-aware placement and the hotspot rebalancer away. The
+// engine is advanced to the fault instant first so the settlement anchor
+// is identical on both dispatch paths.
+func (d *dispatcher) degradeStart(t float64, ev FaultEvent) error {
+	fs := d.servers[ev.Server]
+	if fs.retired {
+		return nil
+	}
+	dspec := degradedSpec(d.spec, ev.Factor)
+	fs.spec = &dspec
+	fs.budgetW = powerBudgetW(dspec)
+	if fs.eng != nil {
+		if err := fs.eng.AdvanceTo(t); err != nil {
+			return err
+		}
+		if err := fs.eng.Reprofile(dspec); err != nil {
+			return fmt.Errorf("serve: degrade server %d: %w", ev.Server, err)
+		}
+		if d.indexed {
+			d.scheduleServer(ev.Server)
+		}
+	}
+	d.refreshState(ev.Server)
+	return nil
+}
+
+// degradeEnd restores the nominal spec and budget at the window close.
+func (d *dispatcher) degradeEnd(t float64, srv int) error {
+	fs := d.servers[srv]
+	if fs.spec == nil {
+		return nil // retired while degraded, or the start never applied
+	}
+	fs.spec = nil
+	fs.budgetW = d.budget
+	if fs.eng != nil && !fs.retired {
+		if err := fs.eng.AdvanceTo(t); err != nil {
+			return err
+		}
+		if err := fs.eng.Reprofile(d.spec); err != nil {
+			return fmt.Errorf("serve: restore server %d spec: %w", srv, err)
+		}
+		if d.indexed {
+			d.scheduleServer(srv)
+		}
+	}
+	d.refreshState(srv)
+	return nil
+}
+
+// --- checkpoint & restore ---------------------------------------------
+
+// checkpointFleet freezes every resident session's state at time t and
+// stores the encoded snapshot for crash recovery. Each session is
+// extracted, encoded, and injected straight back: the same-engine
+// round-trip takes the engine's undo fast path, so the engine state
+// after the pass is bit-identical to never having checkpointed — the
+// snapshot is a pure read. Sessions whose state cannot be extracted are
+// skipped (they simply have no snapshot to restore from); a failed
+// re-inject would leave the engine inconsistent and fails the run.
+func (d *dispatcher) checkpointFleet(t float64) error {
+	if err := d.syncPoint(t); err != nil {
+		return err
+	}
+	for i, fs := range d.servers {
+		if fs.eng == nil || len(fs.resident) == 0 || fs.retired {
+			continue
+		}
+		// Align the engine clock with the checkpoint instant so both
+		// dispatch paths extract from identical settlement anchors.
+		if err := fs.eng.AdvanceTo(t); err != nil {
+			return err
+		}
+		for _, id := range sessionsByArrival(fs, len(fs.resident)) {
+			rec, ok := fs.resident[id]
+			if !ok {
+				continue // departed during the AdvanceTo above
+			}
+			st, err := fs.eng.ExtractSession(id)
+			if err != nil {
+				continue
+			}
+			data, encErr := transcode.EncodeSessionState(st)
+			if _, err := fs.eng.InjectSession(nil, nil, st); err != nil {
+				return fmt.Errorf("serve: checkpoint server %d session %d: %w", i, id, err)
+			}
+			if encErr == nil {
+				d.snaps[rec.reqID] = faultSnap{data: data, at: t}
+			}
+		}
+		if d.indexed {
+			d.scheduleServer(i)
+		}
+	}
+	return nil
+}
+
+// restoreSession re-admits one recovery entry on server choice at time
+// t: from its checkpoint snapshot when it has one (the session resumes
+// mid-stream, charged Recovery.StallSec on the interrupted frame), or
+// from scratch otherwise (warm-seeded from the knowledge store like any
+// fresh admission, keeping its original arrival identity). Recovery is
+// migration-like on the books: the session was already counted admitted
+// and measured at its original admission, so only the recovery counters
+// and the MTTR sketch move here.
+func (d *dispatcher) restoreSession(e *queueEntry, choice int, t float64) error {
+	fs := d.servers[choice]
+	if fs.eng == nil {
+		if err := d.createEngine(choice); err != nil {
+			return err
+		}
+	}
+	if err := fs.eng.AdvanceTo(t); err != nil {
+		return err
+	}
+	rec := e.rec
+	restored := false
+	if len(e.snap) > 0 {
+		if st, err := transcode.DecodeSessionState(e.snap); err == nil {
+			st.StallSec = d.cfg.Faults.Recovery.StallSec
+			// Fresh shells, exactly like a migration: InjectSession
+			// restores their mid-stream state from the payload.
+			seq, err := d.catalog.Get(rec.seq)
+			if err != nil {
+				return err
+			}
+			gsrc, err := video.NewStatefulGenerator(seq, 0)
+			if err != nil {
+				return err
+			}
+			ctrlSrc := xrand.NewSource(0)
+			d.pendingSeed = nil
+			ctrl, err := d.factory(rec.res, experiments.InitialSettings(rec.res), rand.New(ctrlSrc))
+			if err != nil {
+				return err
+			}
+			ctrl = wrapStateful(ctrl, ctrlSrc)
+			newID, err := fs.eng.InjectSession(gsrc, ctrl, st)
+			if err != nil {
+				return fmt.Errorf("serve: restore session %d on server %d: %w", rec.reqID, choice, err)
+			}
+			// Busy time restarts here: the pre-crash span was credited
+			// to the crashed server at the crash.
+			rec.startAt = t
+			fs.resident[newID] = rec
+			fs.cur++
+			if fs.cur > fs.peak {
+				fs.peak = fs.cur
+			}
+			if rec.res == video.HR {
+				fs.hr++
+			} else {
+				fs.lr++
+			}
+			if fs.harvest != nil {
+				if mc := mamutController(ctrl); mc != nil {
+					// Keep the original seed baseline: the session's
+					// eventual contribution must subtract what it was
+					// seeded with, not re-donate it.
+					fs.harvest[newID] = harvestEntry{reqID: rec.reqID, res: rec.res, ctrl: mc, seeded: e.seeded}
+				}
+			}
+			restored = true
+		}
+	}
+	if !restored {
+		// Cold restart: a fresh admission under the original arrival
+		// identity, warm-seeded from the knowledge store when on.
+		var seedSnap *core.Snapshot
+		if d.store != nil {
+			if s := d.store.Seed(rec.res); s != nil {
+				cp := s.Clone()
+				seedSnap = &cp
+				d.seeded++
+			}
+		}
+		d.pendingSeed = seedSnap
+		id, err := fs.addSession(e.req, d.cfg, d.catalog, d.factory, seedSnap, t)
+		if err != nil {
+			return err
+		}
+		// Keep the original first-frame stamp: time-to-first-frame is a
+		// user-facing latency and the user saw their first frame before
+		// the crash.
+		r := fs.resident[id]
+		r.firstFrameAt = rec.firstFrameAt
+		fs.resident[id] = r
+	}
+	d.active++
+	d.recovered++
+	d.mttrSum += t - e.crashAt
+	d.recH.Add(t - e.crashAt)
+	if d.outcomes != nil {
+		so := &d.outcomes[rec.reqID]
+		so.Recovered = true
+		so.Server = choice
+	}
+	if d.indexed {
+		d.refreshState(choice)
+		d.scheduleServer(choice)
+	}
+	return nil
+}

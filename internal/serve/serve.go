@@ -152,6 +152,13 @@ type Config struct {
 	// until a server frees up or their deadline passes. The zero value
 	// keeps the drop-on-full behaviour and byte-identical output.
 	Queue QueueConfig
+	// Faults schedules deterministic fault injection (see faults.go):
+	// server crashes, power-cap degradations and availability blips land
+	// at precomputed control moments of the serial phase, with periodic
+	// session checkpoints and a queue-based recovery pipeline bringing
+	// crash-interrupted sessions back. The zero value disables fault
+	// code entirely and keeps byte-identical output.
+	Faults FaultConfig
 	// Progress observes completed per-server simulations.
 	Progress experiments.ProgressFunc
 }
@@ -199,6 +206,16 @@ type SessionOutcome struct {
 	// server (deadline passed, or the run ended while it waited). Such
 	// arrivals are counted in Result.QueueDropped, never in Rejected.
 	Dropped bool
+	// Interrupted reports the session was resident on a server when it
+	// crashed; fault injection only.
+	Interrupted bool
+	// Recovered reports an interrupted session that was restored onto a
+	// surviving server (Server then holds the restoring server).
+	Recovered bool
+	// Lost reports an interrupted session that was never restored:
+	// dropped with its server, shed from the recovery queue, out of
+	// retries, or past its recovery deadline.
+	Lost bool
 	// The remaining fields are zero for rejected arrivals.
 	// Frames is the number of frames actually transcoded.
 	Frames int
@@ -288,6 +305,10 @@ type WindowedStats struct {
 	// arrival decision — the recent waiting-room pressure. Zero when
 	// queueing is off.
 	QueueDepth float64
+	// AvailabilityPct decays over the share of the initial-or-crashed
+	// fleet that was in service (not crashed, not blipped), sampled at
+	// each arrival decision. Zero when fault injection is off.
+	AvailabilityPct float64
 }
 
 // Result is the steady-state outcome of a service run.
@@ -370,6 +391,28 @@ type Result struct {
 	ServersAdded   int
 	ServersRemoved int
 	PeakServers    int
+	// The fault block accounts Config.Faults activity (all zero when no
+	// plan is configured). FaultsInjected counts fault events that
+	// struck; ServersCrashed the servers lost for good. Interrupted
+	// counts sessions resident on a crashing server; of those, Recovered
+	// were restored onto surviving capacity and Lost never were —
+	// Interrupted == Recovered + Lost once the run drains. LostWorkSec
+	// totals the transcoding seconds lost between each victim's last
+	// checkpoint (or start) and the crash. MTTRSec is the mean
+	// crash-to-restore latency over recovered sessions, and
+	// RecoveryLatency sketches its distribution. AvailabilityPct is the
+	// time-averaged share of the initial fleet in service: crashed
+	// servers are out from the crash to the horizon, blipped servers for
+	// their windows.
+	FaultsInjected  int
+	ServersCrashed  int
+	Interrupted     int
+	Recovered       int
+	Lost            int
+	LostWorkSec     float64
+	MTTRSec         float64
+	RecoveryLatency QuantileSummary
+	AvailabilityPct float64
 	// Knowledge is the run's final knowledge store (imported snapshot
 	// plus this run's contributions) when Config.KnowledgeReuse was on,
 	// nil otherwise. Export it for a later run's Config.Knowledge.
@@ -435,6 +478,7 @@ func (c Config) withDefaults() Config {
 			c.Queue.Priority = QueuePrioHRFirst
 		}
 	}
+	c.Faults = c.Faults.withDefaults()
 	c.Workload = c.Workload.withDefaults()
 	return c
 }
@@ -497,6 +541,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Queue.validate(); err != nil {
 		return err
+	}
+	if err := c.Faults.validate(c.Servers, c.Workload.withDefaults().DurationSec, c.Queue.Capacity); err != nil {
+		return err
+	}
+	if c.Faults.Enabled() && c.Approach == experiments.MonoAgent {
+		// Checkpoints and crash recovery extract full session state, and
+		// degradation reprofiles live engines — both need the stateful
+		// session machinery the mono-agent baseline does not expose.
+		return fmt.Errorf("serve: fault injection requires migratable sessions; %s sessions are not migratable", experiments.MonoAgent)
 	}
 	if c.Elastic() {
 		if c.Approach == experiments.MonoAgent {
@@ -601,6 +654,19 @@ type fleetServer struct {
 	decom   bool
 	retired bool
 
+	// Fault state (fault injection only). blipped marks the server
+	// unavailable for a blip window (its state reports Draining, so
+	// placement and rebalancing skip it while its engine keeps running);
+	// crashed marks it killed by a crash fault — retired with its
+	// sessions interrupted rather than drained. spec is the degraded
+	// platform spec while a degrade window is open (nil = nominal), and
+	// budgetW the per-server power budget placement reads — d.budget
+	// except inside a degrade window.
+	blipped bool
+	crashed bool
+	spec    *platform.Spec
+	budgetW float64
+
 	// sh is the shard owning this server (nil when the run is unsharded).
 	// During the parallel sweep window only the owning shard's goroutine
 	// touches this server; the departure hook buffers into sh instead of
@@ -623,6 +689,10 @@ type residentRec struct {
 	startAt      float64
 	firstFrameAt float64
 	measured     bool
+	// req is the original arrival, kept only under fault injection: a
+	// crash victim re-enters the admission queue as a recovery entry and
+	// needs the full request to re-place (and possibly cold-restart).
+	req SessionRequest
 }
 
 // harvestEntry identifies one future knowledge contribution. seeded is
@@ -644,12 +714,12 @@ type harvestEntry struct {
 // the session waited in the admission queue first). seeded is the
 // knowledge snapshot the controller factory warm-starts from (nil when
 // knowledge reuse is off or the class is still cold), recorded for
-// delta harvesting.
+// delta harvesting. Returns the engine session id.
 func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video.Catalog,
-	factory experiments.ControllerFactory, seeded *core.Snapshot, startAt float64) error {
+	factory experiments.ControllerFactory, seeded *core.Snapshot, startAt float64) (int, error) {
 	seq, err := catalog.Get(req.Sequence)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Session rngs are xrand (splitmix64) streams: seeding a stdlib rand
 	// source costs a ~600-word table initialisation, which profiled as
@@ -659,13 +729,13 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 	// the rng state live migration carries across servers.
 	src, err := video.NewStatefulGenerator(seq, req.SourceSeed)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	initial := experiments.InitialSettings(req.Res)
 	ctrlSrc := xrand.NewSource(req.ControllerSeed)
 	ctrl, err := factory(req.Res, initial, rand.New(ctrlSrc))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ctrl = wrapStateful(ctrl, ctrlSrc)
 	id, err := fs.eng.AddSession(transcode.SessionConfig{
@@ -682,9 +752,9 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		CollectTrace: false,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	fs.resident[id] = residentRec{
+	rec := residentRec{
 		reqID:    req.ID,
 		res:      req.Res,
 		seq:      req.Sequence,
@@ -694,6 +764,12 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 		// that arrived in-window is measured however long it queued.
 		measured: req.ArriveAtSec >= cfg.WarmupSec,
 	}
+	if cfg.Faults.Enabled() {
+		// Keep the full request only when a crash could force this
+		// session back through the admission queue.
+		rec.req = req
+	}
+	fs.resident[id] = rec
 	fs.cur++
 	if fs.cur > fs.peak {
 		fs.peak = fs.cur
@@ -708,7 +784,7 @@ func (fs *fleetServer) addSession(req SessionRequest, cfg Config, catalog *video
 	} else {
 		fs.lr++
 	}
-	return nil
+	return id, nil
 }
 
 // Run executes one service simulation as a single event-interleaved fleet:
@@ -782,36 +858,29 @@ func Run(cfg Config) (*Result, error) {
 	// Join the shard goroutines however the run ends (including mid-run
 	// errors); no-op for unsharded runs.
 	defer d.stopShards()
-	if d.epochSec > 0 {
-		// Elastic run: interleave the control epochs with the arrivals on
-		// the one merged clock. An epoch due exactly at an arrival's
-		// instant runs before the arrival (drain/scale decisions take
-		// effect for it), and epochs continue past the last arrival to
-		// the horizon so a trailing lull still scales the fleet in.
-		horizon := cfg.Workload.DurationSec
-		k := 1
-		for _, req := range arrivals {
-			for t := float64(k) * d.epochSec; t <= req.ArriveAtSec && t <= horizon; t = float64(k) * d.epochSec {
-				if err := d.epoch(t); err != nil {
-					return nil, err
-				}
-				k++
-			}
-			if err := d.place(req); err != nil {
+	// Interleave the control timeline — elastic epochs, periodic fault
+	// checkpoints, fault events — with the arrivals on the one merged
+	// clock. A moment due exactly at an arrival's instant runs before the
+	// arrival (drain/scale/fault effects apply to it), and the timeline
+	// continues past the last arrival to the horizon. With no elasticity
+	// and no faults the timeline is empty and this is the plain arrival
+	// loop.
+	moments := d.controlMoments()
+	mi := 0
+	for _, req := range arrivals {
+		for mi < len(moments) && moments[mi].at <= req.ArriveAtSec {
+			if err := d.control(moments[mi]); err != nil {
 				return nil, err
 			}
+			mi++
 		}
-		for t := float64(k) * d.epochSec; t <= horizon; t = float64(k) * d.epochSec {
-			if err := d.epoch(t); err != nil {
-				return nil, err
-			}
-			k++
+		if err := d.place(req); err != nil {
+			return nil, err
 		}
-	} else {
-		for _, req := range arrivals {
-			if err := d.place(req); err != nil {
-				return nil, err
-			}
+	}
+	for ; mi < len(moments); mi++ {
+		if err := d.control(moments[mi]); err != nil {
+			return nil, err
 		}
 	}
 	return d.finish()
@@ -911,6 +980,25 @@ type dispatcher struct {
 	qwH, ttffH    *metrics.Histogram
 	depthWin      *metrics.DecayedMean
 	backlogObs    BacklogObserver
+
+	// Fault injection (cfg.Faults.Enabled() only; see faults.go): the
+	// per-session checkpoint snapshots, the initial fleet size the
+	// availability accounting normalises by, the fault/outage counters,
+	// and the recovery-latency sketches.
+	faultsOn    bool
+	snaps       map[int]faultSnap // keyed by arrival ID
+	initialSrv  int
+	crashedSrv  int
+	blippedCnt  int
+	faultCount  int
+	interrupted int
+	recovered   int
+	lostSess    int
+	lostWorkSec float64
+	unavailSec  float64
+	mttrSum     float64
+	recH        *metrics.Histogram
+	availWin    *metrics.DecayedMean
 }
 
 // classAgg streams the per-class session sums ClassStats is derived from.
@@ -949,7 +1037,7 @@ func (d *dispatcher) init(arrivals int) error {
 	d.estW = map[video.Resolution]float64{video.HR: hrW, video.LR: lrW}
 	d.servers = make([]*fleetServer, cfg.Servers)
 	for i := range d.servers {
-		d.servers[i] = &fleetServer{resident: make(map[int]residentRec)}
+		d.servers[i] = &fleetServer{resident: make(map[int]residentRec), budgetW: d.budget}
 		if d.store != nil {
 			d.servers[i].harvest = make(map[int]harvestEntry)
 		}
@@ -1034,6 +1122,27 @@ func (d *dispatcher) init(arrivals int) error {
 		// the pre-queue arrival path untouched.
 		if ob, ok := d.pol.(BacklogObserver); ok {
 			d.backlogObs = ob
+		}
+	}
+	if cfg.Faults.Enabled() {
+		d.faultsOn = true
+		d.initialSrv = cfg.Servers
+		d.snaps = make(map[int]faultSnap)
+		// Recovery latency is bounded by the slower class deadline (the
+		// default even under Recovery.Drop, where nothing recovers and
+		// the sketch stays empty).
+		bound := DefaultFaultDeadlineSec
+		for _, cl := range []FaultRecoveryClass{cfg.Faults.Recovery.HR, cfg.Faults.Recovery.LR} {
+			if cl.DeadlineSec > bound {
+				bound = cl.DeadlineSec
+			}
+		}
+		var err error
+		if d.recH, err = metrics.NewHistogram(0, bound, 256); err != nil {
+			return err
+		}
+		if d.availWin, err = metrics.NewDecayedMean(tau); err != nil {
+			return err
 		}
 	}
 	if cfg.RetainSessions {
@@ -1123,6 +1232,14 @@ func (d *dispatcher) sampleWindows(t float64, rejected bool) {
 		// The whole fleet is decommissioned: no capacity reads as fully
 		// utilized, not as idle.
 		d.utilWin.Add(t, 100)
+	}
+	if d.faultsOn {
+		// Availability over the servers faults can touch: the live fleet
+		// plus what crashed out of it, so elastic scale-in does not read
+		// as an outage.
+		if denom := d.liveSrv + d.crashedSrv; denom > 0 {
+			d.availWin.Add(t, 100*float64(d.liveSrv-d.blippedCnt)/float64(denom))
+		}
 	}
 }
 
@@ -1265,7 +1382,10 @@ func (d *dispatcher) refreshState(i int) {
 	s.HRActive = fs.hr
 	s.LRActive = fs.lr
 	s.EstPowerW = d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR]
-	s.Draining = fs.decom
+	// A blipped server reports Draining (hence Full): placement and
+	// rebalancing skip it for the window without a dedicated state bit.
+	s.Draining = fs.decom || fs.blipped
+	s.PowerBudgetW = fs.budgetW
 	if d.idx != nil {
 		d.idx.Update(*s)
 	}
@@ -1298,12 +1418,12 @@ func (d *dispatcher) refreshScanStates(req SessionRequest) []ServerState {
 				MaxSessions:  d.cfg.MaxSessionsPerServer,
 				EstPowerW:    d.spec.IdlePowerW + float64(fs.hr)*d.estW[video.HR] + float64(fs.lr)*d.estW[video.LR],
 				EstArrivalW:  aw,
-				Draining:     fs.decom,
-				PowerBudgetW: d.budget,
+				Draining:     fs.decom || fs.blipped,
+				PowerBudgetW: fs.budgetW,
 			}
 		}
 	}
-	if d.removedSrv == 0 {
+	if d.removedSrv+d.crashedSrv == 0 {
 		return d.states
 	}
 	live := d.scratch[:0]
@@ -1324,14 +1444,21 @@ func (d *dispatcher) refreshScanStates(req SessionRequest) []ServerState {
 // record carries everything the aggregates need — so server memory
 // stays O(resident sessions) over any horizon.
 func (d *dispatcher) createEngine(i int) error {
-	eng, err := transcode.NewEngine(d.spec, d.model, experiments.SubSeed(d.cfg.Seed, "serve|server", i))
+	fs := d.servers[i]
+	spec := d.spec
+	if fs.spec != nil {
+		// First admission lands inside a degrade window: the engine is
+		// born with the derated spec and reprofiles back at the window
+		// close.
+		spec = *fs.spec
+	}
+	eng, err := transcode.NewEngine(spec, d.model, experiments.SubSeed(d.cfg.Seed, "serve|server", i))
 	if err != nil {
 		return err
 	}
-	fs := d.servers[i]
 	fs.eng = eng
 	if fs.sh != nil {
-		fs.sh.engines++ // scan-mode shard wake filter; engines are never torn down
+		fs.sh.engines++ // scan-mode shard wake filter; only a crash fault tears an engine down
 	}
 	fs.power = metrics.NewPowerIntegrator(d.cfg.WarmupSec, d.cfg.Workload.DurationSec)
 	eng.DiscardDeparted(true)
@@ -1426,6 +1553,10 @@ func (d *dispatcher) createEngine(i int) error {
 func (d *dispatcher) applyDeparture(dr departRec) {
 	d.active--
 	d.pendingStats = append(d.pendingStats, dr)
+	if d.snaps != nil {
+		// The session completed; its crash checkpoint is dead weight.
+		delete(d.snaps, dr.reqID)
+	}
 	if d.indexed {
 		d.refreshState(dr.server)
 	}
@@ -1563,11 +1694,31 @@ func (d *dispatcher) buildResult() (*Result, error) {
 		res.TTFFDist = quantiles(d.ttffH)
 		res.Windowed.QueueDepth = d.depthWin.Value()
 	}
+	if d.faultsOn {
+		res.FaultsInjected = d.faultCount
+		res.ServersCrashed = d.crashedSrv
+		res.Interrupted = d.interrupted
+		res.Recovered = d.recovered
+		res.Lost = d.lostSess
+		res.LostWorkSec = d.lostWorkSec
+		if d.recovered > 0 {
+			res.MTTRSec = d.mttrSum / float64(d.recovered)
+		}
+		res.RecoveryLatency = quantiles(d.recH)
+		if denom := horizon * float64(d.initialSrv); denom > 0 {
+			pct := 100 * (1 - d.unavailSec/denom)
+			if pct < 0 {
+				pct = 0
+			}
+			res.AvailabilityPct = pct
+		}
+		res.Windowed.AvailabilityPct = d.availWin.Value()
+	}
 
 	winLen := horizon - cfg.WarmupSec
 	for i, fs := range d.servers {
 		sr := ServerResult{Index: i, Sessions: d.admitCount[i], PeakActive: fs.peak, AvgPowerW: d.spec.IdlePowerW}
-		if fs.eng != nil {
+		if fs.power != nil {
 			switch w, err := fs.power.Average(); {
 			case err == nil:
 				sr.AvgPowerW = w

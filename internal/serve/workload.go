@@ -58,6 +58,27 @@
 // elastic feature off the dispatcher is byte-identical to the
 // fixed-fleet implementation it grew from (CI-pinned goldens).
 //
+// Failure domains and recovery (see faults.go). Config.Faults injects a
+// pre-declared fault plan into the same serial control phase: crash (a
+// server dies at an instant — engine torn down, in-flight sessions
+// interrupted, the server never returns), degrade (a power-cap derate
+// window, applied live through the platform spec and an engine
+// re-profile) and blip (an unavailability window during which the server
+// admits nothing but its sessions keep running). Periodic checkpoints
+// (Config.Faults.CheckpointSec) snapshot live sessions via the same
+// extract/encode path migration uses; crash-interrupted sessions re-enter
+// the admission queue as recovery entries with per-class backoff, retry
+// and deadline budgets, restoring from their last snapshot — or
+// cold-restarting, warm-seeded from the KnowledgeStore when enabled —
+// on the next server with capacity, and shedding by class priority when
+// recovery demand exceeds queue capacity. Fault edges, checkpoints and
+// elastic epochs merge into one deterministic control timeline
+// (controlMoments), so chaos runs stay byte-identical across worker
+// counts, dispatchers and shard counts; with no plan configured the
+// subsystem is inert and output byte-matches the pre-fault goldens.
+// MTTR, recovery-latency quantiles, lost work and fleet availability are
+// first-class result fields.
+//
 // Everything is deterministic for a fixed seed: the arrival process, the
 // placement decisions and every per-server simulation derive their
 // randomness from experiments.SubSeed. The interleaved phase is

@@ -224,6 +224,28 @@ func NewEngine(spec platform.Spec, model hevc.Model, seed int64) (*Engine, error
 // Server exposes the platform (used by controllers needing spec data).
 func (e *Engine) Server() *platform.Server { return e.server }
 
+// Reprofile swaps the server's platform spec live — the fault-injection
+// layer uses it to cut (and later restore) a degraded machine's power
+// cap mid-run. The running segment is settled at the old spec's rates
+// first, so energy, thermal state and the virtual clock up to this
+// instant are exactly what they would have been without the swap; the
+// new spec governs from now on. The spec is validated; the frequency
+// ladder must keep every resident load's frequency (their contention
+// contributions were resolved at admission), which holds trivially for
+// cap-only changes.
+func (e *Engine) Reprofile(spec platform.Spec) error {
+	if e.finished {
+		return errFinished
+	}
+	powerIdeal, speed := e.segRates()
+	e.settle(e.now, powerIdeal, speed)
+	if err := e.server.SetSpec(spec); err != nil {
+		return fmt.Errorf("transcode: Reprofile: %w", err)
+	}
+	e.stateGen++
+	return nil
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() float64 { return e.now }
 
@@ -502,7 +524,9 @@ func (e *Engine) advance(limit float64, untilAll bool) error {
 		}
 		for _, s := range batch {
 			if !untilAll && s.frames >= s.cfg.FrameBudget {
-				e.depart(s)
+				if err := e.depart(s); err != nil {
+					return err
+				}
 				continue
 			}
 			if err := e.beginFrame(s); err != nil {
@@ -721,9 +745,14 @@ func (e *Engine) completeFrame(s *session, powerRead float64) {
 // In discard mode the session's state is dropped afterwards: the
 // SessionEnd carried its complete result, and its dynamic energy was
 // settled by the final completeFrame, so nothing buildResult would later
-// compute differs from what the hook already saw.
-func (e *Engine) depart(s *session) {
-	e.acct.Remove(s.load)
+// compute differs from what the hook already saw. An accounting mismatch
+// surfaces as an error (the run aborts) rather than a panic, so a fleet
+// layer injecting faults can never take the whole process down through a
+// release-path inconsistency.
+func (e *Engine) depart(s *session) error {
+	if err := e.acct.Remove(s.load); err != nil {
+		return fmt.Errorf("transcode: t=%.3f session %d depart: %w", e.now, s.id, err)
+	}
 	s.running = false
 	s.done = true
 	if e.onEnd != nil {
@@ -738,6 +767,7 @@ func (e *Engine) depart(s *session) {
 	if e.discard {
 		e.sessions[s.id] = nil
 	}
+	return nil
 }
 
 func (e *Engine) buildResult() *Result {

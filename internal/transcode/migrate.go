@@ -366,7 +366,12 @@ func (e *Engine) ExtractSession(id int) (*SessionState, error) {
 			return nil, fmt.Errorf("transcode: ExtractSession(%d): no pending completion", id)
 		}
 		stash.ev = ev
-		e.acct.Remove(s.load)
+		if err := e.acct.Remove(s.load); err != nil {
+			// Put the completion back: the engine is still consistent and
+			// the caller sees the accounting mismatch as a plain error.
+			e.compl.push(ev)
+			return nil, fmt.Errorf("transcode: ExtractSession(%d): %w", id, err)
+		}
 		st.Running = true
 		st.CompletionKey = ev.key
 		st.VNow = e.vnow

@@ -395,6 +395,22 @@ type (
 	// ServeFleetState is the fleet-level (queue backlog) context a
 	// backlog-observing policy sees before each placement decision.
 	ServeFleetState = serve.FleetState
+	// ServeFaultConfig schedules deterministic fault injection into a
+	// service run (ServeConfig.Faults): the fault plan, the periodic
+	// session-checkpoint interval, and the crash-recovery pipeline.
+	ServeFaultConfig = serve.FaultConfig
+	// ServeFaultEvent is one scheduled fault: a server crash at an
+	// instant, or a degrade/blip window.
+	ServeFaultEvent = serve.FaultEvent
+	// ServeFaultKind identifies a failure mode (crash, degrade, blip).
+	ServeFaultKind = serve.FaultKind
+	// ServeFaultRecovery configures what happens to sessions a crash
+	// interrupts: drop them, or re-admit through the waiting room with
+	// per-class retry/backoff/deadline bounds.
+	ServeFaultRecovery = serve.FaultRecovery
+	// ServeFaultRecoveryClass bounds one resolution class's recovery
+	// effort (backoff, retries, deadline).
+	ServeFaultRecoveryClass = serve.FaultRecoveryClass
 	// ServeBacklogObserver marks a PlacementPolicy that observes queue
 	// backlog state (ServeFleetState) before each placement decision.
 	ServeBacklogObserver = serve.BacklogObserver
@@ -463,12 +479,37 @@ const (
 	DefaultQueueDeadlineSec = serve.DefaultQueueDeadlineSec
 )
 
+// Fault kinds (ServeFaultEvent.Kind), plus the recovery bounds crash
+// recovery falls back to when none are configured.
+const (
+	FaultCrash   = serve.FaultCrash
+	FaultDegrade = serve.FaultDegrade
+	FaultBlip    = serve.FaultBlip
+
+	DefaultFaultBackoffSec      = serve.DefaultFaultBackoffSec
+	DefaultFaultRetryMax        = serve.DefaultFaultRetryMax
+	DefaultFaultDeadlineSec     = serve.DefaultFaultDeadlineSec
+	DefaultFaultRestoreStallSec = serve.DefaultFaultRestoreStallSec
+)
+
 // ServePolicyNames lists the registered placement policies.
 func ServePolicyNames() []string { return serve.PolicyNames() }
 
 // ServeQueuePriorities lists the admission-queue priority orders in
 // deterministic order.
 func ServeQueuePriorities() []ServeQueuePriority { return serve.QueuePriorities() }
+
+// ServeFaultKinds lists the fault-injection failure modes in
+// deterministic order.
+func ServeFaultKinds() []ServeFaultKind { return serve.FaultKinds() }
+
+// ParseServeFaultPlan parses a comma-separated fault plan in the CLI
+// spec syntax, e.g. "crash@120:0,degrade@60-180:2:0.5,blip@90-95:1".
+func ParseServeFaultPlan(s string) ([]ServeFaultEvent, error) { return serve.ParseFaultPlan(s) }
+
+// FormatServeFaultPlan renders a fault plan back into the spec syntax;
+// the result re-parses to an equal plan.
+func FormatServeFaultPlan(plan []ServeFaultEvent) string { return serve.FormatFaultPlan(plan) }
 
 // RunService executes one service simulation: generate (or replay) the
 // arrival process, dispatch every arrival across the fleet, simulate each
